@@ -1,0 +1,40 @@
+# interstitial — build & reproduction targets
+
+GO ?= go
+
+.PHONY: all build test cover bench fuzz paper extensions examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+# One iteration of every benchmark (each regenerates a scaled-down
+# table/figure); use BENCHTIME=5x etc. for more.
+BENCHTIME ?= 1x
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/trace/
+
+# Regenerate the paper at full scale (~4 min) and the extension studies.
+paper:
+	$(GO) run ./cmd/experiments
+
+extensions:
+	$(GO) run ./cmd/experiments extensions
+
+examples:
+	@for e in quickstart paramsweep capacityplan omniscient preemption swfreplay; do \
+		echo "=== examples/$$e ==="; $(GO) run ./examples/$$e || exit 1; done
+
+clean:
+	rm -f cover.out

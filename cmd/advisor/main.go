@@ -1,0 +1,107 @@
+// Command advisor turns the paper's Section 5 guidelines into a planning
+// tool: given a machine and a project's total work, it sweeps the job
+// shape (CPUs/job × job length), scores each shape on expected makespan
+// (omniscient packing over a calibrated log), breakage, and worst-case
+// native delay, and recommends a configuration.
+//
+// Usage:
+//
+//	advisor -machine "Blue Mountain" -petacycles 10 [-seed 1] [-scale 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"interstitial"
+)
+
+type candidate struct {
+	cpus      int
+	sec1GHz   float64
+	jobs      int
+	makespanH float64
+	breakage  float64
+	// worstNativeDelay is the paper's bound: one interstitial job length.
+	worstNativeDelayS int64
+	score             float64
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("advisor: ")
+	machineName := flag.String("machine", "Blue Mountain", `machine: "Ross", "Blue Mountain", or "Blue Pacific"`)
+	petaCycles := flag.Float64("petacycles", 10, "project size in peta-cycles (1e15 ticks)")
+	seed := flag.Int64("seed", 1, "seed for the calibrated planning log")
+	scale := flag.Float64("scale", 0.25, "planning-log scale (smaller = faster, noisier)")
+	flag.Parse()
+
+	m, err := interstitial.MachineByName(*machineName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *scale > 0 && *scale < 1 {
+		m.Workload.Days *= *scale
+		m.Workload.Jobs = int(float64(m.Workload.Jobs) * *scale)
+	}
+	logJobs := interstitial.CalibratedLog(m, *seed)
+	util := interstitial.RunNative(m, logJobs)
+
+	fmt.Printf("Machine %s: %d CPUs @ %.3f GHz, native utilization %.3f\n",
+		m.Name, m.Workload.Machine.CPUs, m.Workload.Machine.ClockGHz, util)
+	fmt.Printf("Project: %.1f peta-cycles; ideal makespan %.1f h at constant utilization\n\n",
+		*petaCycles, interstitial.TheoreticalMakespan(m, *petaCycles)/3600)
+
+	var cands []candidate
+	start := m.Workload.Duration() / 8
+	for _, cpus := range []int{1, 4, 8, 16, 32, 64} {
+		for _, sec := range []float64{60, 120, 480, 960} {
+			k := int(*petaCycles*1e15/(float64(cpus)*sec*1e9) + 0.5)
+			if k < 1 {
+				continue
+			}
+			p := interstitial.ProjectSpec{PetaCycles: *petaCycles, KJobs: k, CPUsPerJob: cpus}
+			ms, err := interstitial.PlanOmniscient(m, logJobs, p, start)
+			if err != nil {
+				continue // job bigger than the machine's spare pool
+			}
+			c := candidate{
+				cpus: cpus, sec1GHz: sec, jobs: k,
+				makespanH:         ms.HoursF(),
+				breakage:          interstitial.Breakage(m, cpus),
+				worstNativeDelayS: int64(m.Seconds1GHz(sec)),
+			}
+			// Score: makespan dominates; native delay is a soft penalty
+			// (an hour of worst-case native delay weighs like 20% extra
+			// makespan on a 100h project).
+			c.score = c.makespanH * (1 + float64(c.worstNativeDelayS)/3600*0.2)
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		log.Fatal("no feasible job shape for this machine")
+	}
+	sort.Slice(cands, func(i, k int) bool { return cands[i].score < cands[k].score })
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tCPUs/job\tsec@1GHz\tjobs\tmakespan (h)\tbreakage\tworst native delay (s)")
+	for i, c := range cands {
+		if i >= 10 {
+			break
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%d\t%.1f\t%.3f\t%d\n",
+			i+1, c.cpus, c.sec1GHz, c.jobs, c.makespanH, c.breakage, c.worstNativeDelayS)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	best := cands[0]
+	fmt.Printf("\nRecommendation: %d CPUs/job × %.0f s@1GHz (%d jobs).\n", best.cpus, best.sec1GHz, best.jobs)
+	fmt.Println("Paper guidelines applied: keep jobs small relative to the machine's")
+	fmt.Println("spare pool (low breakage) and short (bounded native delay); at equal")
+	fmt.Println("makespan the advisor prefers the shorter, narrower shape.")
+}

@@ -1,0 +1,162 @@
+// Command birminator simulates a supercomputer running a native job log —
+// optionally with interstitial computing — and reports the paper's
+// metrics. It is the CLI face of the library's simulation stack (named for
+// the paper's Big Iron Resource Management simulator).
+//
+// Usage:
+//
+//	birminator -machine "Blue Mountain" [-trace log.swf] [-seed 1]
+//	           [-interstitial-cpus 32] [-interstitial-sec1ghz 120]
+//	           [-utilcap 0.95] [-project-jobs 0] [-project-start-h 100]
+//
+// With no -trace, a calibrated synthetic log is generated. With
+// -interstitial-cpus 0 the run is native-only. -project-jobs > 0 runs a
+// finite project instead of continual submission.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"interstitial"
+	"interstitial/internal/job"
+	"interstitial/internal/stats"
+	"interstitial/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("birminator: ")
+	machineName := flag.String("machine", "Blue Mountain", `machine: "Ross", "Blue Mountain", or "Blue Pacific"`)
+	tracePath := flag.String("trace", "", "SWF native log to replay (default: synthesize one)")
+	seed := flag.Int64("seed", 1, "seed for synthetic logs")
+	scale := flag.Float64("scale", 1.0, "shrink synthetic log by this factor")
+	iCPUs := flag.Int("interstitial-cpus", 0, "CPUs per interstitial job (0 = native-only run)")
+	iSec := flag.Float64("interstitial-sec1ghz", 120, "interstitial job length in seconds at 1 GHz")
+	utilCap := flag.Float64("utilcap", 0, "suppress interstitial submission above this utilization (0 = unlimited)")
+	projJobs := flag.Int("project-jobs", 0, "finite project size in jobs (0 = continual)")
+	projStartH := flag.Float64("project-start-h", 0, "project start time in hours")
+	dump := flag.String("dump", "", "write the simulated schedule (native + interstitial records, with waits) as SWF to this file")
+	flag.Parse()
+
+	m, err := interstitial.MachineByName(*machineName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *scale > 0 && *scale < 1 {
+		m.Workload.Days *= *scale
+		m.Workload.Jobs = int(float64(m.Workload.Jobs) * *scale)
+	}
+
+	var natives []*interstitial.Job
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, natives, err = trace.Read(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Jobs wider than the machine would wedge the queue forever.
+		kept := natives[:0]
+		dropped := 0
+		for _, j := range natives {
+			if j.CPUs > m.Workload.Machine.CPUs {
+				dropped++
+				continue
+			}
+			kept = append(kept, j)
+		}
+		natives = kept
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "birminator: dropped %d jobs wider than the %d-CPU machine\n", dropped, m.Workload.Machine.CPUs)
+		}
+	} else {
+		natives = interstitial.CalibratedLog(m, *seed)
+	}
+
+	horizon := m.Workload.Duration()
+	var dumpJobs []*interstitial.Job
+	defer func() {
+		if *dump == "" || dumpJobs == nil {
+			return
+		}
+		f, err := os.Create(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := trace.Header{Computer: m.Name, Note: "birminator simulated schedule", MaxProcs: m.Workload.Machine.CPUs}
+		if err := trace.Write(f, h, dumpJobs); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("schedule written to %s (%d records)\n", *dump, len(dumpJobs))
+	}()
+
+	switch {
+	case *iCPUs <= 0:
+		util := interstitial.RunNative(m, natives)
+		fmt.Printf("native-only: %d jobs, native utilization %.3f\n", len(natives), util)
+		report(m, natives, nil, horizon)
+		dumpJobs = natives
+
+	case *projJobs > 0:
+		spec := interstitial.ProjectSpec{
+			PetaCycles: float64(*projJobs) * float64(*iCPUs) * *iSec * 1e9 / 1e15,
+			KJobs:      *projJobs,
+			CPUsPerJob: *iCPUs,
+		}
+		res, err := interstitial.RunProject(m, natives, spec, interstitial.Time(*projStartH*3600))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("project %v: makespan %.1f h\n", spec, res.Makespan.HoursF())
+		report(m, res.Natives, res.Jobs, horizon)
+		dumpJobs = append(append([]*interstitial.Job{}, res.Natives...), res.Jobs...)
+
+	default:
+		spec := interstitial.JobSpec{CPUs: *iCPUs, Runtime: m.Seconds1GHz(*iSec)}
+		res, err := interstitial.RunContinual(m, natives, spec, *utilCap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("continual %dCPU × %ds (cap %.2f): %d interstitial jobs\n",
+			spec.CPUs, spec.Runtime, *utilCap, len(res.Jobs))
+		report(m, res.Natives, res.Jobs, horizon)
+		dumpJobs = append(append([]*interstitial.Job{}, res.Natives...), res.Jobs...)
+	}
+}
+
+// report prints the standard metric block for a finished run.
+func report(m interstitial.Machine, natives, inter []*interstitial.Job, horizon interstitial.Time) {
+	all := append(append([]*interstitial.Job{}, natives...), inter...)
+	overall, native := stats.UtilizationByClass(all, m.Workload.Machine.CPUs, 0, horizon)
+	big := stats.LargestByCPUSeconds(natives, 0.05)
+	waits := stats.Summarize(stats.Waits(natives, job.Native))
+	waitsBig := stats.Summarize(stats.Waits(big, job.Native))
+	efs := stats.Summarize(stats.ExpansionFactors(natives, job.Native))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "overall utilization\t%.3f\n", overall)
+	fmt.Fprintf(tw, "native utilization\t%.3f\n", native)
+	fmt.Fprintf(tw, "native wait median/mean\t%s / %s\n", stats.FormatSeconds(waits.Median), stats.FormatSeconds(waits.Mean))
+	fmt.Fprintf(tw, "5%% largest wait median/mean\t%s / %s\n", stats.FormatSeconds(waitsBig.Median), stats.FormatSeconds(waitsBig.Mean))
+	fmt.Fprintf(tw, "native EF median/mean\t%.2f / %.2f\n", efs.Median, efs.Mean)
+	if len(inter) > 0 {
+		iw := stats.Summarize(stats.Waits(inter, job.Interstitial))
+		fmt.Fprintf(tw, "interstitial jobs\t%d\n", len(inter))
+		fmt.Fprintf(tw, "interstitial wait median\t%s\n", stats.FormatSeconds(iw.Median))
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-seed N] [-scale F] [-reps N] [-samples N] [-csv dir] [names...]
+//
+// With no names, every paper experiment runs in evaluation order. Use
+// "ablations" for all beyond-the-paper studies, "extensions" for every
+// extension including the methodology checks, or any names from:
+//
+//	table1 table2 table3 theoryfit figure2 table4 figure3 table5 table6
+//	figure4 figure4-outages figure5 figure6 table7 table8ross table8limited
+//	ablation-{estimates,backfill,burstiness,joblength,jobwidth,capsweep,preemption,
+//	prediction} utilization-sweep validate-sampling seed-robustness correlations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"interstitial/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed for all experiments")
+	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]; 1.0 = paper scale")
+	reps := flag.Int("reps", 0, "random project starts per cell (default 20)")
+	samples := flag.Int("samples", 0, "short-term windows sampled from continual runs (default 500)")
+	csvDir := flag.String("csv", "", "also write each experiment's data points as <dir>/<name>.csv")
+	list := flag.Bool("list", false, "print the valid experiment names and exit")
+	flag.Parse()
+	if *list {
+		for _, n := range experiments.AllNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Samples: *samples}
+	reg := experiments.NewRegistry(experiments.NewLab(opts))
+
+	names := flag.Args()
+	switch {
+	case len(names) == 0:
+		names = experiments.PaperNames()
+	case len(names) == 1 && names[0] == "ablations":
+		names = nil
+		for _, n := range experiments.ExtensionNames() {
+			if strings.HasPrefix(n, "ablation-") {
+				names = append(names, n)
+			}
+		}
+	case len(names) == 1 && names[0] == "extensions":
+		names = experiments.ExtensionNames()
+	}
+
+	for _, name := range names {
+		t0 := time.Now()
+		r, err := reg.Run(strings.ToLower(name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := r.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: rendering %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, name, r); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: csv %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("  [%s in %.1fs]\n\n", name, time.Since(t0).Seconds())
+	}
+}
+
+// writeCSV dumps an experiment's data points when it supports CSV export.
+func writeCSV(dir, name string, r experiments.Renderer) error {
+	c, ok := r.(experiments.CSVer)
+	if !ok {
+		return nil
+	}
+	f, err := os.Create(dir + "/" + name + ".csv")
+	if err != nil {
+		return err
+	}
+	if err := c.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,97 @@
+// Command loganalyze characterizes a job log the way the paper's Section
+// 3-4 describes its machines: counts, size marginals, runtime and estimate
+// distributions, estimate accuracy, arrival burstiness, and offered load.
+//
+// Usage:
+//
+//	loganalyze -trace log.swf [-cpus 4662]
+//	loganalyze -machine "Blue Mountain" [-seed 1] [-scale 0.25]   # synthetic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"interstitial"
+	"interstitial/internal/machine"
+	"interstitial/internal/stats"
+	"interstitial/internal/trace"
+	"interstitial/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loganalyze: ")
+	tracePath := flag.String("trace", "", "SWF log to analyze")
+	cpus := flag.Int("cpus", 0, "machine size for offered-load normalization (0 = use SWF MaxProcs)")
+	machineName := flag.String("machine", "", "analyze a synthetic log for this machine instead of a trace")
+	seed := flag.Int64("seed", 1, "synthetic log seed")
+	scale := flag.Float64("scale", 1.0, "synthetic log scale")
+	fit := flag.Bool("fit", false, "also fit a workload.Profile to the log (for synthesizing similar logs)")
+	flag.Parse()
+
+	var jobs []*interstitial.Job
+	n := *cpus
+	switch {
+	case *tracePath != "":
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var h trace.Header
+		h, jobs, err = trace.Read(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n == 0 {
+			n = h.MaxProcs
+		}
+		fmt.Printf("Trace %s (%s):\n", *tracePath, h.Computer)
+	case *machineName != "":
+		m, err := interstitial.MachineByName(*machineName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *scale > 0 && *scale < 1 {
+			m.Workload.Days *= *scale
+			m.Workload.Jobs = int(float64(m.Workload.Jobs) * *scale)
+		}
+		jobs = workload.Generate(m.Workload, *seed)
+		if n == 0 {
+			n = m.Workload.Machine.CPUs
+		}
+		fmt.Printf("Synthetic %s log (seed %d, scale %g):\n", m.Name, *seed, *scale)
+	default:
+		log.Fatal("need -trace or -machine")
+	}
+
+	c := stats.Characterize(jobs, n)
+	if err := c.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	if *fit {
+		mc := machine.Config{Name: "fitted", CPUs: n, ClockGHz: 1}
+		if *machineName != "" {
+			if m, err := interstitial.MachineByName(*machineName); err == nil {
+				mc = m.Workload.Machine
+			}
+		}
+		p, err := workload.FitProfile(jobs, mc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nFitted workload.Profile (pass to workload.Generate to synthesize similar logs):")
+		fmt.Printf("  Days: %.1f  Jobs: %d  TargetUtil: %.3f\n", p.Days, p.Jobs, p.TargetUtil)
+		fmt.Printf("  Users: %d  Groups: %d\n", p.Users, p.Groups)
+		fmt.Printf("  RuntimeMedianH: %.2f  RuntimeMeanH: %.2f  LongJobFrac: %.3f (max %.0fh)\n",
+			p.RuntimeMedianH, p.RuntimeMeanH, p.LongJobFrac, p.LongJobMaxHours)
+		fmt.Printf("  SmallWeight: %.2f  MaxCPUFrac: %.2f  Burstiness: %.2f\n",
+			p.SmallWeight, p.MaxCPUFrac, p.Burstiness)
+	}
+}

@@ -1,0 +1,68 @@
+// Command tracegen generates a synthetic native job log for one of the
+// three ASCI machines and writes it in Standard Workload Format.
+//
+// Usage:
+//
+//	tracegen -machine "Blue Mountain" [-seed 1] [-scale 1] [-calibrate] [-o log.swf]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"interstitial"
+	"interstitial/internal/trace"
+	"interstitial/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	machineName := flag.String("machine", "Blue Mountain", `machine profile: "Ross", "Blue Mountain", or "Blue Pacific"`)
+	seed := flag.Int64("seed", 1, "generator seed")
+	scale := flag.Float64("scale", 1.0, "shrink log duration and job count by this factor")
+	calibrate := flag.Bool("calibrate", false, "run the calibration loop so simulated utilization matches Table 1 (slower)")
+	out := flag.String("o", "-", "output file (default stdout)")
+	flag.Parse()
+
+	m, err := interstitial.MachineByName(*machineName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *scale > 0 && *scale < 1 {
+		m.Workload.Days *= *scale
+		m.Workload.Jobs = int(float64(m.Workload.Jobs) * *scale)
+	}
+
+	var jobs []*interstitial.Job
+	if *calibrate {
+		jobs = interstitial.CalibratedLog(m, *seed)
+	} else {
+		jobs = workload.Generate(m.Workload, *seed)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	h := trace.Header{
+		Computer: m.Name,
+		Note:     fmt.Sprintf("synthetic interstitial-computing log, seed %d, scale %g", *seed, *scale),
+		MaxProcs: m.Workload.Machine.CPUs,
+	}
+	if err := trace.Write(w, h, jobs); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package interstitial_test
+
+import (
+	"fmt"
+
+	"interstitial"
+)
+
+// Example shows the shortest path from nothing to a measured interstitial
+// project: build a (shrunken) Blue Mountain testbed, calibrate a native
+// log, and drop a parameter sweep into the stream.
+func Example() {
+	m := interstitial.BlueMountain()
+	m.Workload.Days /= 16
+	m.Workload.Jobs /= 16
+
+	log := interstitial.CalibratedLog(m, 7)
+	_ = interstitial.RunNative(m, log)
+
+	sweep := interstitial.ProjectSpec{PetaCycles: 0.5, KJobs: 400, CPUsPerJob: 32}
+	res, err := interstitial.RunProject(m, log, sweep, m.Workload.Duration()/8)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("ran %d interstitial jobs of %d CPUs each\n", len(res.Jobs), sweep.CPUsPerJob)
+	// Output:
+	// ran 400 interstitial jobs of 32 CPUs each
+}
+
+// ExampleBreakage reproduces the paper's Section 4.2 breakage arithmetic:
+// on Blue Pacific only two 32-CPU jobs fit the ~86 spare CPUs, wasting the
+// rest.
+func ExampleBreakage() {
+	bp := interstitial.BluePacific()
+	fmt.Printf("%.3f\n", interstitial.Breakage(bp, 32))
+	fmt.Printf("%.3f\n", interstitial.Breakage(bp, 1))
+	// Output:
+	// 1.346
+	// 1.001
+}
+
+// ExampleProjectSpec_Seconds1GHz shows the paper's project normalization:
+// 7.7 peta-cycles split into 64,000 single-CPU jobs is 120 seconds of
+// 1 GHz work per job, which runs 458 s on Blue Mountain's 262 MHz CPUs.
+func ExampleProjectSpec_Seconds1GHz() {
+	p := interstitial.ProjectSpec{PetaCycles: 7.7, KJobs: 64000, CPUsPerJob: 1}
+	fmt.Printf("%.0f s@1GHz\n", p.Seconds1GHz())
+	spec := p.JobSpecFor(0.262)
+	fmt.Printf("%d s on Blue Mountain\n", spec.Runtime)
+	// Output:
+	// 120 s@1GHz
+	// 459 s on Blue Mountain
+}
+
+// ExampleTheoreticalMakespan evaluates the paper's ideal makespan law for
+// a 123 peta-cycle project on Ross.
+func ExampleTheoreticalMakespan() {
+	ross := interstitial.Ross()
+	h := interstitial.TheoreticalMakespan(ross, 123) / 3600
+	fmt.Printf("%.0f hours\n", h)
+	// Output:
+	// 110 hours
+}

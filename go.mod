@@ -1,0 +1,3 @@
+module interstitial
+
+go 1.22

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"interstitial/internal/engine"
+	"interstitial/internal/job"
+	"interstitial/internal/sched"
+	"interstitial/internal/sim"
+)
+
+// Controller is the fallible-mode interstitial controller: the paper's
+// Figure 1 algorithm. It runs after every native scheduling pass ("the
+// algorithm is run every time the system checks for new jobs") and
+// meta-backfills identical low-priority jobs into the CPUs the native
+// scheduler left idle, using only the same estimate-based plan the native
+// scheduler had — so it is exactly as fallible as the machine's own
+// backfill.
+type Controller struct {
+	// Spec describes the identical interstitial jobs.
+	Spec JobSpec
+	// Limit caps the number of jobs ever submitted; Limit <= 0 means
+	// continual (unbounded) submission.
+	Limit int
+	// StartAt / StopAt bound the submission window. Jobs are never
+	// submitted outside [StartAt, StopAt].
+	StartAt sim.Time
+	StopAt  sim.Time
+	// UtilCap, when in (0,1], suppresses submission whenever starting
+	// another job would push instantaneous machine utilization above the
+	// cap — the paper's Section 4.3.2.2 limiting mechanism.
+	UtilCap float64
+	// Preempt, when non-nil, lets the controller kill its own running
+	// jobs to unblock the native head job — an extension past the
+	// paper's non-preemptive model (see Preemption).
+	Preempt *Preemption
+	// IgnorePlan disables Figure 1's backfillWallTime guard, turning the
+	// controller into a naive cycle-scavenger that grabs any free CPUs
+	// (the screen-saver-computing model of the paper's related work).
+	// Exists to quantify what the guard buys; never use in production.
+	IgnorePlan bool
+
+	// Jobs collects every interstitial job submitted, in start order,
+	// including continuation jobs resubmitted after a preemption kill.
+	Jobs []*job.Job
+	// KilledJobs counts preemption kills; WastedCPUSeconds is the
+	// un-checkpointed work those kills discarded.
+	KilledJobs       int
+	WastedCPUSeconds float64
+
+	created int // fresh work units submitted (excludes continuations)
+	backlog []sim.Time
+	nextID  int
+}
+
+// interstitialIDBase keeps interstitial job IDs disjoint from native log
+// IDs (native logs number from 1).
+const interstitialIDBase = 10_000_000
+
+// NewController returns a continual controller for spec over the whole
+// simulation.
+func NewController(spec JobSpec) *Controller {
+	return &Controller{Spec: spec, StopAt: sim.Infinity}
+}
+
+// NewProject returns a finite-project controller: kJobs jobs, submission
+// opening at startAt.
+func NewProject(spec JobSpec, kJobs int, startAt sim.Time) *Controller {
+	return &Controller{Spec: spec, Limit: kJobs, StartAt: startAt, StopAt: sim.Infinity}
+}
+
+// Attach registers the controller on a simulator. Attach panics if the
+// spec is invalid or another AfterPass hook is installed.
+func (c *Controller) Attach(s *engine.Simulator) {
+	if err := c.Spec.Validate(); err != nil {
+		panic(err)
+	}
+	if s.AfterPass != nil {
+		panic("core: simulator already has an AfterPass hook")
+	}
+	s.AfterPass = func(sm *engine.Simulator, res sched.PassResult) { c.afterPass(sm, res) }
+	// Wake the scheduler when the submission window opens, in case no
+	// native event falls inside it.
+	if c.StartAt > 0 {
+		s.RequestPassAt(c.StartAt)
+	}
+}
+
+// Remaining reports how many fresh jobs the controller may still submit;
+// -1 means unlimited. Continuation jobs resubmitted after preemption do
+// not count against the limit (they are the same work units).
+func (c *Controller) Remaining() int {
+	if c.Limit <= 0 {
+		return -1
+	}
+	return c.Limit - c.created
+}
+
+// Done reports whether a finite project has submitted all its work: the
+// job limit is reached and no preempted remainder awaits resubmission.
+func (c *Controller) Done() bool {
+	return c.Limit > 0 && c.created >= c.Limit && len(c.backlog) == 0
+}
+
+// afterPass implements Figure 1. The native pass has already dispatched
+// every native job it could (head-of-queue or backfill); what remains is:
+//
+//	nInterstitialJobs = floor(nodesAvailable / interstitialJobSize)
+//	if jobsInQueue == 0                        -> submit
+//	else if backfillWallTime > interstitialRuntime -> submit
+//
+// We apply the condition per job against the pass's capacity plan (which
+// embeds the head job's reservation), which is the same test expressed in
+// profile form: an interstitial job may start only where the plan says its
+// whole runtime fits without touching any native reservation.
+func (c *Controller) afterPass(s *engine.Simulator, res sched.PassResult) {
+	// Preemption protects natives regardless of the submission window:
+	// jobs started inside the window may still be running after it. When
+	// a pass kills, submission waits for the follow-up pass — the freed
+	// CPUs are earmarked for the native head, and refilling them in the
+	// same instant would steal them back and loop the kill forever.
+	if c.Preempt != nil && c.preempt(s) {
+		return
+	}
+	now := s.Now()
+	if now < c.StartAt || now > c.StopAt {
+		return
+	}
+	// Resubmit preempted remainders first, then fresh jobs.
+	for len(c.backlog) > 0 && c.admit(s, res, c.backlog[0]) {
+		c.backlog = c.backlog[1:]
+	}
+	for !c.Done() && c.Remaining() != 0 && c.admit(s, res, c.Spec.Runtime) {
+		c.created++
+	}
+}
+
+// admit starts one interstitial job of the given runtime if every Figure-1
+// condition holds, and reports whether it did.
+func (c *Controller) admit(s *engine.Simulator, res sched.PassResult, runtime sim.Time) bool {
+	now := s.Now()
+	m := s.Machine()
+	if m.Free() < c.Spec.CPUs {
+		return false
+	}
+	// Utilization cap (Section 4.3.2.2): do not push instantaneous
+	// utilization above the cap.
+	if c.UtilCap > 0 && float64(m.Busy()+c.Spec.CPUs)/float64(m.Config().CPUs) > c.UtilCap {
+		return false
+	}
+	// Figure 1's queue condition, per job against the plan: with an
+	// empty queue the plan holds no reservations and this always passes;
+	// with a waiting head job it passes exactly when the interstitial
+	// job stays clear of the head's reservation — i.e.
+	// backfillWallTime > interstitialRuntime, locally.
+	if !c.IgnorePlan && res.Plan != nil && res.Plan.MinFree(now, now+runtime) < c.Spec.CPUs {
+		return false
+	}
+	c.nextID++
+	j := job.NewInterstitial(interstitialIDBase+c.nextID, c.Spec.CPUs, runtime, now)
+	s.StartDirect(j)
+	if !c.IgnorePlan && res.Plan != nil {
+		res.Plan.Reserve(now, c.Spec.CPUs, runtime)
+	}
+	c.Jobs = append(c.Jobs, j)
+	return true
+}
+
+// Makespan reports lastFinish - StartAt for a completed finite project. It
+// returns an error if the project has not submitted and finished all jobs.
+func (c *Controller) Makespan() (sim.Time, error) {
+	if c.Limit <= 0 {
+		return 0, fmt.Errorf("core: makespan is defined for finite projects")
+	}
+	if !c.Done() {
+		return 0, fmt.Errorf("core: project incomplete: %d/%d jobs submitted, %d preempted remainders pending", c.created, c.Limit, len(c.backlog))
+	}
+	var last sim.Time
+	for _, j := range c.Jobs {
+		if j.Finish < 0 {
+			return 0, fmt.Errorf("core: job %d never finished", j.ID)
+		}
+		if j.Finish > last {
+			last = j.Finish
+		}
+	}
+	return last - c.StartAt, nil
+}

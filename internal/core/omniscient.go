@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"interstitial/internal/job"
+	"interstitial/internal/profile"
+	"interstitial/internal/sim"
+)
+
+// FreeTimeline builds the free-CPU step function left behind by a recorded
+// baseline run, clipped to [0, horizon) and tiled `copies` times so
+// projects that outlive the log keep seeing a statistically identical
+// machine (the log is treated as cyclo-stationary). copies < 1 is treated
+// as 1.
+func FreeTimeline(baseline []*job.Job, totalCPUs int, horizon sim.Time, copies int) *profile.Profile {
+	if copies < 1 {
+		copies = 1
+	}
+	type delta struct {
+		at sim.Time
+		d  int
+	}
+	var ds []delta
+	for _, j := range baseline {
+		if j.Start < 0 {
+			continue
+		}
+		s := j.Start
+		e := j.Finish
+		if e < 0 {
+			e = j.Start + j.Runtime
+		}
+		if s < 0 {
+			s = 0
+		}
+		if e > horizon {
+			e = horizon
+		}
+		if s >= horizon || e <= s {
+			continue
+		}
+		ds = append(ds, delta{s, -j.CPUs}, delta{e, +j.CPUs})
+	}
+	sort.Slice(ds, func(i, k int) bool { return ds[i].at < ds[k].at })
+
+	// One period of the step function.
+	var times []sim.Time
+	var free []int
+	cur := totalCPUs
+	times = append(times, 0)
+	free = append(free, cur)
+	for i := 0; i < len(ds); {
+		at := ds[i].at
+		for i < len(ds) && ds[i].at == at {
+			cur += ds[i].d
+			i++
+		}
+		if at == times[len(times)-1] {
+			free[len(free)-1] = cur
+		} else {
+			times = append(times, at)
+			free = append(free, cur)
+		}
+	}
+	// Tile the period. Each copy k >= 1 repeats the breakpoints shifted by
+	// k*horizon; the boundary value resets to the period's start value.
+	pn := len(times)
+	for k := 1; k < copies; k++ {
+		off := sim.Time(k) * horizon
+		for i := 0; i < pn; i++ {
+			t := times[i] + off
+			if t == times[len(times)-1] {
+				free[len(free)-1] = free[i]
+				continue
+			}
+			times = append(times, t)
+			free = append(free, free[i])
+		}
+	}
+	// After the last copy the machine is considered fully free.
+	end := sim.Time(copies) * horizon
+	if end > times[len(times)-1] {
+		times = append(times, end)
+		free = append(free, totalCPUs)
+	} else {
+		free[len(free)-1] = totalCPUs
+	}
+	return profile.FromSteps(times, free)
+}
+
+// Batch records a group of identical interstitial jobs started together by
+// the omniscient packer.
+type Batch struct {
+	Start sim.Time
+	Jobs  int
+}
+
+// OmniscientResult is the outcome of packing one project.
+type OmniscientResult struct {
+	// Makespan is lastFinish - projectStart.
+	Makespan sim.Time
+	// Batches records the packing for inspection.
+	Batches []Batch
+	// WorkCPUSeconds is the project's total area, for utilization math.
+	WorkCPUSeconds float64
+}
+
+// PackProject greedily packs kJobs identical jobs (spec) into the free
+// timeline starting at startAt, reserving capacity as it goes (the profile
+// is mutated). Greedy-earliest matches the paper's submission rule: a job
+// starts the moment enough CPUs are free for its whole runtime. Because
+// natives follow the recorded timeline exactly, they are unaffected — the
+// paper's definition of omniscient interstitial computing.
+func PackProject(free *profile.Profile, spec JobSpec, startAt sim.Time, kJobs int) (OmniscientResult, error) {
+	if err := spec.Validate(); err != nil {
+		return OmniscientResult{}, err
+	}
+	if kJobs < 1 {
+		return OmniscientResult{}, fmt.Errorf("core: packing %d jobs", kJobs)
+	}
+	res := OmniscientResult{WorkCPUSeconds: float64(kJobs) * float64(spec.CPUs) * float64(spec.Runtime)}
+	remaining := kJobs
+	frontier := startAt
+	var lastEnd sim.Time
+	for remaining > 0 {
+		t, ok := free.EarliestFit(frontier, spec.CPUs, spec.Runtime)
+		if !ok {
+			return res, fmt.Errorf("core: no fit for %d-CPU job; machine smaller than job?", spec.CPUs)
+		}
+		q := free.MinFree(t, t+spec.Runtime) / spec.CPUs
+		if q < 1 {
+			return res, fmt.Errorf("core: EarliestFit/MinFree disagree at %d", t)
+		}
+		if q > remaining {
+			q = remaining
+		}
+		free.Reserve(t, q*spec.CPUs, spec.Runtime)
+		res.Batches = append(res.Batches, Batch{Start: t, Jobs: q})
+		remaining -= q
+		if end := t + spec.Runtime; end > lastEnd {
+			lastEnd = end
+		}
+		frontier = t
+	}
+	res.Makespan = lastEnd - startAt
+	return res, nil
+}

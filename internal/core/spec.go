@@ -1,0 +1,102 @@
+// Package core implements interstitial computing, the paper's
+// contribution: filling a supercomputer's utilization interstices with
+// many small, identical, low-priority jobs without significantly delaying
+// the machine's native workload.
+//
+// Two operating modes mirror the paper's Sections 4.1 and 4.3:
+//
+//   - Omniscient (Section 4.1): the controller knows exactly when every
+//     native job will start and finish, so interstitial jobs are packed
+//     into the recorded baseline free-capacity timeline and natives are
+//     provably unaffected.
+//   - Fallible (Section 4.3): the controller sees only user runtime
+//     estimates — the realistic deployment. Interstitial jobs are
+//     meta-backfilled after every native scheduling pass (Figure 1 of the
+//     paper) and can, through estimate error and fair-share
+//     reprioritization cascades, delay native jobs.
+//
+// Projects are either finite ("short-term", a fixed job count dropped at a
+// random time) or continual (submission from log start to log end),
+// optionally limited by a machine-utilization cap (Section 4.3.2.2).
+package core
+
+import (
+	"fmt"
+
+	"interstitial/internal/sim"
+)
+
+// PetaCycle is the paper's project-size unit: 1e15 clock ticks.
+const PetaCycle = 1e15
+
+// JobSpec describes the identical jobs of an interstitial project on a
+// specific machine: every job needs CPUs processors for Runtime wallclock
+// seconds (zero variance, per the paper).
+type JobSpec struct {
+	// CPUs per interstitial job.
+	CPUs int
+	// Runtime is the wallclock duration on the target machine.
+	Runtime sim.Time
+}
+
+// Validate reports the first violated invariant.
+func (s JobSpec) Validate() error {
+	if s.CPUs < 1 {
+		return fmt.Errorf("core: job spec with %d CPUs", s.CPUs)
+	}
+	if s.Runtime < 1 {
+		return fmt.Errorf("core: job spec with runtime %d", s.Runtime)
+	}
+	return nil
+}
+
+// ProjectSpec sizes a whole interstitial project the way the paper's
+// tables do: total work in peta-cycles, split into KJobs identical jobs of
+// CPUsPerJob processors each.
+type ProjectSpec struct {
+	// PetaCycles is the total project work: 1 peta-cycle = 1e15 ticks.
+	PetaCycles float64
+	// KJobs is the number of identical jobs.
+	KJobs int
+	// CPUsPerJob is each job's processor count.
+	CPUsPerJob int
+}
+
+// Seconds1GHz reports the per-CPU work of one job normalized to a 1 GHz
+// processor — the "120sec@1GHz" notation of Table 2.
+func (p ProjectSpec) Seconds1GHz() float64 {
+	return p.PetaCycles * 1e15 / float64(p.KJobs) / float64(p.CPUsPerJob) / 1e9
+}
+
+// JobSpecFor materializes the per-job spec on a machine with the given
+// clock: runtime scales inversely with clock speed, so projects are
+// comparable across machines (Section 4 normalization).
+func (p ProjectSpec) JobSpecFor(clockGHz float64) JobSpec {
+	return JobSpec{
+		CPUs:    p.CPUsPerJob,
+		Runtime: sim.Time(p.Seconds1GHz()/clockGHz + 0.5),
+	}
+}
+
+// Validate reports the first violated invariant.
+func (p ProjectSpec) Validate() error {
+	switch {
+	case p.PetaCycles <= 0:
+		return fmt.Errorf("core: project of %v peta-cycles", p.PetaCycles)
+	case p.KJobs < 1:
+		return fmt.Errorf("core: project with %d jobs", p.KJobs)
+	case p.CPUsPerJob < 1:
+		return fmt.Errorf("core: project with %d CPUs/job", p.CPUsPerJob)
+	}
+	return nil
+}
+
+// String renders the spec the way the paper's tables label rows.
+func (p ProjectSpec) String() string {
+	jobs := fmt.Sprintf("%dJobs", p.KJobs)
+	if p.KJobs >= 1000 && p.KJobs%1000 == 0 {
+		jobs = fmt.Sprintf("%dkJobs", p.KJobs/1000)
+	}
+	return fmt.Sprintf("%.1fPc %s %dcpu %.0fs@1GHz",
+		p.PetaCycles, jobs, p.CPUsPerJob, p.Seconds1GHz())
+}

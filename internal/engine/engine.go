@@ -1,0 +1,214 @@
+// Package engine couples the discrete-event kernel, the machine model, and
+// a scheduling policy into a full supercomputer simulator — the functional
+// replacement for the paper's BIRMinator. It replays a native job log
+// exactly as recorded (jobs are submitted at their logged times), runs the
+// machine's queueing algorithm at every state change, and exposes an
+// after-pass hook through which the interstitial controller injects its
+// filler jobs.
+package engine
+
+import (
+	"fmt"
+
+	"interstitial/internal/job"
+	"interstitial/internal/machine"
+	"interstitial/internal/sched"
+	"interstitial/internal/sim"
+)
+
+// Event phase priorities: completions are observed before new submissions,
+// and the scheduling pass runs after all state changes at an instant.
+const (
+	prioFinish = 0
+	prioSubmit = 1
+	prioPass   = 2
+)
+
+// Simulator is a machine plus its queueing system under simulation.
+type Simulator struct {
+	eng   *sim.Engine
+	m     *machine.Machine
+	disp  *sched.Dispatcher
+	queue *sched.Queue
+
+	// AfterPass, when set, runs after every native scheduling pass. The
+	// interstitial controller lives here.
+	AfterPass func(s *Simulator, res sched.PassResult)
+
+	finished []*job.Job
+
+	finishEvents map[int]sim.Handle // running job ID -> finish event
+
+	passPending bool
+	timedPassAt sim.Time
+	timedPass   sim.Handle
+}
+
+// New builds a simulator for the machine configuration and policy.
+func New(cfg machine.Config, pol sched.Policy) *Simulator {
+	return &Simulator{
+		eng:          sim.New(),
+		m:            machine.New(cfg),
+		disp:         sched.NewDispatcher(pol),
+		queue:        sched.NewQueue(),
+		finishEvents: make(map[int]sim.Handle),
+		timedPassAt:  sim.Infinity,
+	}
+}
+
+// Machine exposes the simulated machine.
+func (s *Simulator) Machine() *machine.Machine { return s.m }
+
+// Policy exposes the queueing policy (read-only use, e.g. gate checks).
+func (s *Simulator) Policy() sched.Policy { return s.disp.Policy() }
+
+// Queue exposes the native wait queue.
+func (s *Simulator) Queue() *sched.Queue { return s.queue }
+
+// Now reports the simulation clock.
+func (s *Simulator) Now() sim.Time { return s.eng.Now() }
+
+// Finished returns every job (native and interstitial) that completed, in
+// completion order.
+func (s *Simulator) Finished() []*job.Job { return s.finished }
+
+// Submit schedules j's submission at j.Submit. Call before Run.
+func (s *Simulator) Submit(jobs ...*job.Job) {
+	for _, j := range jobs {
+		j := j
+		if j.Submit < s.eng.Now() {
+			panic(fmt.Sprintf("engine: job %d submitted at %d, before now %d", j.ID, j.Submit, s.eng.Now()))
+		}
+		s.eng.SchedulePrio(j.Submit, prioSubmit, sim.EventFunc(func(*sim.Engine) {
+			s.queue.Push(j)
+			s.requestPass()
+		}))
+	}
+}
+
+// SubmitNow enqueues j at the current instant (used by controllers that
+// react to pass results).
+func (s *Simulator) SubmitNow(j *job.Job) {
+	j.Submit = s.eng.Now()
+	s.queue.Push(j)
+	s.requestPass()
+}
+
+// StartDirect places j on the machine immediately, bypassing the native
+// queue. The interstitial controller uses this after it has verified the
+// job fits the pass's plan. The job's finish event is scheduled and will
+// trigger a new pass like any other completion.
+func (s *Simulator) StartDirect(j *job.Job) {
+	now := s.eng.Now()
+	if j.Submit < 0 || j.Submit > now {
+		j.Submit = now
+	}
+	s.m.Start(now, j)
+	s.scheduleFinish(j)
+}
+
+func (s *Simulator) scheduleFinish(j *job.Job) {
+	s.finishEvents[j.ID] = s.eng.SchedulePrio(j.Start+j.Runtime, prioFinish, sim.EventFunc(func(*sim.Engine) {
+		delete(s.finishEvents, j.ID)
+		s.m.Finish(s.eng.Now(), j)
+		s.disp.Policy().OnFinish(s.eng.Now(), j)
+		s.finished = append(s.finished, j)
+		s.requestPass()
+	}))
+}
+
+// Kill aborts a running job at the current instant: its finish event is
+// cancelled and its CPUs are freed immediately. The job ends in the Killed
+// state with no Finish time. Used by preemptive interstitial controllers;
+// killing a job that is not running panics.
+func (s *Simulator) Kill(j *job.Job) {
+	h, ok := s.finishEvents[j.ID]
+	if !ok {
+		panic(fmt.Sprintf("engine: killing job %d that has no pending finish", j.ID))
+	}
+	h.Cancel()
+	delete(s.finishEvents, j.ID)
+	s.m.Release(s.eng.Now(), j)
+	s.requestPass()
+}
+
+// requestPass coalesces scheduling passes: at most one per instant.
+func (s *Simulator) requestPass() {
+	if s.passPending {
+		return
+	}
+	s.passPending = true
+	s.eng.SchedulePrio(s.eng.Now(), prioPass, sim.EventFunc(func(*sim.Engine) {
+		s.passPending = false
+		s.pass()
+	}))
+}
+
+// pass runs one scheduling pass and the after-pass hook.
+func (s *Simulator) pass() {
+	now := s.eng.Now()
+	res := s.disp.Schedule(now, s.m, s.queue)
+	for _, j := range res.Started {
+		s.scheduleFinish(j)
+	}
+	// A finite head reservation in the future (a time-of-day gate or a
+	// conservative plan) needs a timed wake-up: no submit/finish event may
+	// occur before it.
+	if res.HeadReservation > now && res.HeadReservation < sim.Infinity {
+		s.schedulePassAt(res.HeadReservation)
+	}
+	if s.AfterPass != nil {
+		s.AfterPass(s, res)
+	}
+}
+
+// RequestPassAt arranges a scheduling pass at time t (>= now). External
+// controllers use it to wake the scheduler at instants that no submission
+// or completion event would otherwise hit, e.g. the opening of an
+// interstitial submission window ("or at given time intervals", Figure 1).
+func (s *Simulator) RequestPassAt(t sim.Time) {
+	if t < s.eng.Now() {
+		t = s.eng.Now()
+	}
+	if t == s.eng.Now() {
+		s.requestPass()
+		return
+	}
+	// Independent of the internal reservation wake-up slot (which keeps
+	// only the earliest and may be superseded): this one always fires.
+	s.eng.SchedulePrio(t, prioPass, sim.EventFunc(func(*sim.Engine) { s.pass() }))
+}
+
+// schedulePassAt arranges a pass at time t, keeping only the earliest
+// pending timed pass.
+func (s *Simulator) schedulePassAt(t sim.Time) {
+	if t >= s.timedPassAt && s.timedPassAt > s.eng.Now() {
+		return // an earlier (or equal) wake-up is already pending
+	}
+	s.timedPass.Cancel()
+	s.timedPassAt = t
+	s.timedPass = s.eng.SchedulePrio(t, prioPass, sim.EventFunc(func(*sim.Engine) {
+		s.timedPassAt = sim.Infinity
+		s.pass()
+	}))
+}
+
+// Run executes the simulation to completion: all submitted jobs finished
+// and no events pending.
+func (s *Simulator) Run() { s.eng.Run() }
+
+// RunUntil executes events up to the deadline.
+func (s *Simulator) RunUntil(t sim.Time) { s.eng.RunUntil(t) }
+
+// CheckInvariants validates machine bookkeeping and every finished job.
+func (s *Simulator) CheckInvariants() error {
+	if err := s.m.CheckInvariants(); err != nil {
+		return err
+	}
+	for _, j := range s.finished {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,415 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"interstitial/internal/core"
+	"interstitial/internal/engine"
+	"interstitial/internal/job"
+	"interstitial/internal/predict"
+	"interstitial/internal/sched"
+	"interstitial/internal/stats"
+	"interstitial/internal/testbed"
+	"interstitial/internal/workload"
+)
+
+// This file holds the ablation studies DESIGN.md §5 calls out — they go
+// beyond the paper, quantifying the design choices its conclusions rest
+// on: estimate quality, backfill flavor, arrival burstiness, interstitial
+// job length, and the utilization cap.
+
+// ablationRow is one scenario line shared by the ablation tables.
+type ablationRow struct {
+	Label            string
+	InterstitialJobs int
+	HarvestedCPUh    float64 // interstitial CPU-hours completed in-log
+	OverallUtil      float64
+	NativeUtil       float64
+	NativeMedianWait float64
+	NativeMeanWait   float64
+	BigMedianWait    float64
+}
+
+// AblationResult is a generic ablation table.
+type AblationResult struct {
+	Title string
+	Note  string
+	Rows  []ablationRow
+}
+
+// Render writes the table.
+func (r *AblationResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, r.Title)
+	if r.Note != "" {
+		fmt.Fprintf(w, "  %s\n", r.Note)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tinterstitial jobs\tharvested CPU·h\toverall util\tnative util\tnative wait med/mean\t5% largest med")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.3f\t%.3f\t%s / %s\t%s\n",
+			row.Label, row.InterstitialJobs, row.HarvestedCPUh,
+			row.OverallUtil, row.NativeUtil,
+			stats.FormatSeconds(row.NativeMedianWait), stats.FormatSeconds(row.NativeMeanWait),
+			stats.FormatSeconds(row.BigMedianWait))
+	}
+	return tw.Flush()
+}
+
+// runScenario co-simulates a continual interstitial run on an explicit
+// system/log/policy and summarizes it as an ablation row.
+func runScenario(label string, sys testbed.System, log []*job.Job, spec core.JobSpec, capUtil float64) ablationRow {
+	natives := job.CloneAll(log)
+	sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
+	sm.Submit(natives...)
+	horizon := sys.Workload.Duration()
+	var inter []*job.Job
+	if spec.CPUs > 0 {
+		ctrl := core.NewController(spec)
+		ctrl.StopAt = horizon
+		ctrl.UtilCap = capUtil
+		ctrl.Attach(sm)
+		sm.Run()
+		inter = ctrl.Jobs
+	} else {
+		sm.Run()
+	}
+	all := append(append([]*job.Job{}, natives...), inter...)
+	overall, native := stats.UtilizationByClass(all, sys.Workload.Machine.CPUs, 0, horizon)
+	waits := stats.Summarize(stats.Waits(natives, job.Native))
+	big := stats.LargestByCPUSeconds(natives, 0.05)
+	var harvested float64
+	for _, j := range inter {
+		if j.Finish >= 0 && j.Finish <= horizon {
+			harvested += j.CPUSeconds()
+		}
+	}
+	return ablationRow{
+		Label:            label,
+		InterstitialJobs: len(inter),
+		HarvestedCPUh:    harvested / 3600,
+		OverallUtil:      overall,
+		NativeUtil:       native,
+		NativeMedianWait: waits.Median,
+		NativeMeanWait:   waits.Mean,
+		BigMedianWait:    stats.Summarize(stats.Waits(big, job.Native)).Median,
+	}
+}
+
+// AblationEstimates compares user estimates (the paper's default-heavy
+// gross overestimates) against perfect estimates and a uniform 2x
+// overestimate, holding everything else fixed. Perfect estimates make the
+// controller's plan exact, so native protection should be tightest there.
+func AblationEstimates(l *Lab) *AblationResult {
+	b := l.Baseline("Blue Mountain")
+	spec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(120)}
+	res := &AblationResult{
+		Title: "Ablation: runtime-estimate quality (Blue Mountain, continual 32CPU × 120s@1GHz)",
+		Note:  "the paper's estimates are default-heavy gross overestimates; this isolates their effect",
+	}
+	variants := []struct {
+		label string
+		mut   func(*job.Job)
+	}{
+		{"user estimates (paper)", nil},
+		{"perfect estimates", func(j *job.Job) { j.Estimate = j.Runtime }},
+		{"uniform 2× estimates", func(j *job.Job) { j.Estimate = 2 * j.Runtime }},
+	}
+	for _, v := range variants {
+		log := job.CloneAll(b.log)
+		if v.mut != nil {
+			for _, j := range log {
+				v.mut(j)
+			}
+		}
+		res.Rows = append(res.Rows, runScenario(v.label, b.sys, log, spec, 0))
+	}
+	return res
+}
+
+// AblationBackfill swaps the queueing policy under the same Blue Mountain
+// log: EASY (LSF), conservative (PBS-style), and plain FCFS, each with and
+// without continual interstitial jobs.
+func AblationBackfill(l *Lab) *AblationResult {
+	b := l.Baseline("Blue Mountain")
+	spec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(120)}
+	res := &AblationResult{
+		Title: "Ablation: backfill flavor (Blue Mountain log, continual 32CPU × 120s@1GHz)",
+		Note:  "interstitial computing must coexist with whatever backfill the machine runs",
+	}
+	for _, v := range []struct {
+		label string
+		pol   func() sched.Policy
+	}{
+		{"EASY (LSF, paper)", func() sched.Policy { return sched.NewLSF() }},
+		{"conservative (PBS)", func() sched.Policy { return sched.NewPBS() }},
+		{"FCFS, no backfill", func() sched.Policy { return sched.NewFCFS() }},
+	} {
+		sys := b.sys
+		sys.NewPolicy = v.pol
+		res.Rows = append(res.Rows, runScenario(v.label+" native-only", sys, b.log, core.JobSpec{}, 0))
+		res.Rows = append(res.Rows, runScenario(v.label+" +interstitial", sys, b.log, spec, 0))
+	}
+	return res
+}
+
+// AblationBurstiness regenerates the Blue Mountain log at three arrival
+// burstiness levels. Burstiness drives utilization variance, and the
+// paper credits it for the long makespan tails; flattening arrivals
+// should narrow the interstices without changing their total area much.
+func AblationBurstiness(l *Lab) *AblationResult {
+	o := l.Options()
+	res := &AblationResult{
+		Title: "Ablation: arrival burstiness (Blue Mountain, continual 32CPU × 120s@1GHz)",
+		Note:  "harvest total is ~invariant; burstiness moves the variance and the native tail",
+	}
+	for _, burst := range []float64{0, 0.6, 1.0} {
+		sys := o.scaled(testbed.BlueMountain())
+		sys.Workload.Burstiness = burst
+		log := workload.Generate(sys.Workload, o.Seed)
+		spec := core.JobSpec{CPUs: 32, Runtime: sys.Seconds1GHz(120)}
+		res.Rows = append(res.Rows, runScenario(fmt.Sprintf("burstiness %.1f", burst), sys, log, spec, 0))
+	}
+	return res
+}
+
+// AblationJobLength sweeps the interstitial job runtime at fixed 32 CPUs:
+// the paper's central guideline trade-off (short jobs bound native delay;
+// long jobs amortize breakage-in-time).
+func AblationJobLength(l *Lab) *AblationResult {
+	b := l.Baseline("Blue Mountain")
+	res := &AblationResult{
+		Title: "Ablation: interstitial job length (Blue Mountain, continual, 32 CPUs/job)",
+		Note:  "paper guideline: short jobs bound the worst-case native delay",
+	}
+	for _, sec := range []float64{30, 120, 480, 960, 3840} {
+		spec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(sec)}
+		res.Rows = append(res.Rows, runScenario(fmt.Sprintf("%.0fs@1GHz (%ds)", sec, spec.Runtime), b.sys, b.log, spec, 0))
+	}
+	return res
+}
+
+// AblationPreemption evaluates the checkpoint/restart extension (the
+// paper's "breakage in time" remark): preemptive interstitial jobs that
+// yield to the native head, with and without checkpointing, against the
+// paper's non-preemptive baseline. Uses the *long* interstitial jobs,
+// where non-preemptive native damage is worst.
+func AblationPreemption(l *Lab) *AblationResult {
+	b := l.Baseline("Blue Mountain")
+	spec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(960)}
+	res := &AblationResult{
+		Title: "Ablation: preemption & checkpointing (Blue Mountain, continual 32CPU × 960s@1GHz)",
+		Note:  "beyond the paper: killed jobs lose work back to their last checkpoint",
+	}
+	variants := []struct {
+		label string
+		pre   *core.Preemption
+	}{
+		{"non-preemptive (paper)", nil},
+		{"preempt, no checkpoint", &core.Preemption{}},
+		{"preempt, ckpt 60s", &core.Preemption{CheckpointEvery: 60}},
+		{"preempt, ckpt 600s", &core.Preemption{CheckpointEvery: 600}},
+	}
+	for _, v := range variants {
+		row := runScenarioPre(v.label, b.sys, b.log, spec, v.pre)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// runScenarioPre is runScenario with a preemption policy attached.
+func runScenarioPre(label string, sys testbed.System, log []*job.Job, spec core.JobSpec, pre *core.Preemption) ablationRow {
+	natives := job.CloneAll(log)
+	sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
+	sm.Submit(natives...)
+	horizon := sys.Workload.Duration()
+	ctrl := core.NewController(spec)
+	ctrl.StopAt = horizon
+	ctrl.Preempt = pre
+	ctrl.Attach(sm)
+	sm.Run()
+	all := append(append([]*job.Job{}, natives...), ctrl.Jobs...)
+	overall, native := stats.UtilizationByClass(all, sys.Workload.Machine.CPUs, 0, horizon)
+	waits := stats.Summarize(stats.Waits(natives, job.Native))
+	big := stats.LargestByCPUSeconds(natives, 0.05)
+	var harvested float64
+	for _, j := range ctrl.Jobs {
+		if j.State == job.Finished && j.Finish <= horizon {
+			harvested += j.CPUSeconds()
+		}
+	}
+	harvested -= ctrl.WastedCPUSeconds
+	return ablationRow{
+		Label:            fmt.Sprintf("%s [kills=%d wasted=%.0f CPUh]", label, ctrl.KilledJobs, ctrl.WastedCPUSeconds/3600),
+		InterstitialJobs: len(ctrl.Jobs),
+		HarvestedCPUh:    harvested / 3600,
+		OverallUtil:      overall,
+		NativeUtil:       native,
+		NativeMedianWait: waits.Median,
+		NativeMeanWait:   waits.Mean,
+		BigMedianWait:    stats.Summarize(stats.Waits(big, job.Native)).Median,
+	}
+}
+
+// AblationPrediction evaluates online runtime prediction (the paper's
+// Network Weather Service pointer): the same Blue Mountain log scheduled
+// with raw user estimates, with a smoothed per-user predictor, and with a
+// perfect oracle, each under continual interstitial load. Better
+// estimates tighten the controller's plan, protecting natives without
+// giving up harvest.
+func AblationPrediction(l *Lab) *AblationResult {
+	b := l.Baseline("Blue Mountain")
+	spec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(960)}
+	res := &AblationResult{
+		Title: "Ablation: runtime prediction (Blue Mountain, continual 32CPU × 960s@1GHz)",
+		Note:  "beyond the paper: per-user smoothed prediction vs raw user estimates vs oracle",
+	}
+	variants := []struct {
+		label string
+		mk    func() predict.Predictor
+	}{
+		{"user estimates (paper)", func() predict.Predictor { return predict.UserEstimate{} }},
+		{"smoothed per-user", func() predict.Predictor { return predict.NewSmoothed() }},
+		{"perfect oracle", func() predict.Predictor { return predict.Perfect{} }},
+	}
+	for _, v := range variants {
+		pred := v.mk()
+		sys := b.sys
+		inner := sys.NewPolicy
+		sys.NewPolicy = func() sched.Policy { return predict.Wrap(inner(), pred) }
+		natives := job.CloneAll(b.log)
+		sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
+		sm.Submit(natives...)
+		ctrl := core.NewController(spec)
+		ctrl.StopAt = sys.Workload.Duration()
+		ctrl.Attach(sm)
+		sm.Run()
+		geo, under := predict.Accuracy(natives)
+		row := summarizeContinual(sys, natives, ctrl.Jobs)
+		row.Label = fmt.Sprintf("%s [est/actual geo=%.1fx under=%.0f%%]", v.label, geo, under*100)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// summarizeContinual condenses a finished continual run into an ablation
+// row (without a label).
+func summarizeContinual(sys testbed.System, natives, inter []*job.Job) ablationRow {
+	horizon := sys.Workload.Duration()
+	all := append(append([]*job.Job{}, natives...), inter...)
+	overall, native := stats.UtilizationByClass(all, sys.Workload.Machine.CPUs, 0, horizon)
+	waits := stats.Summarize(stats.Waits(natives, job.Native))
+	big := stats.LargestByCPUSeconds(natives, 0.05)
+	var harvested float64
+	for _, j := range inter {
+		if j.State == job.Finished && j.Finish <= horizon {
+			harvested += j.CPUSeconds()
+		}
+	}
+	return ablationRow{
+		InterstitialJobs: len(inter),
+		HarvestedCPUh:    harvested / 3600,
+		OverallUtil:      overall,
+		NativeUtil:       native,
+		NativeMedianWait: waits.Median,
+		NativeMeanWait:   waits.Mean,
+		BigMedianWait:    stats.Summarize(stats.Waits(big, job.Native)).Median,
+	}
+}
+
+// AblationGuard quantifies Figure 1's backfillWallTime condition by
+// disabling it: a naive cycle-scavenger (the related-work screen-saver
+// model) grabs any free CPUs without checking whether the native head
+// could use them soon. Compared under the paper's EASY policy and under
+// a modern SLURM-style multifactor policy.
+func AblationGuard(l *Lab) *AblationResult {
+	b := l.Baseline("Blue Mountain")
+	spec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(960)}
+	res := &AblationResult{
+		Title: "Ablation: Figure 1's backfillWallTime guard (Blue Mountain, continual 32CPU × 960s@1GHz)",
+		Note:  "guard off = naive cycle scavenging; the guard is what makes filler jobs polite",
+	}
+	for _, pol := range []struct {
+		label string
+		mk    func() sched.Policy
+	}{
+		{"LSF (paper)", func() sched.Policy { return sched.NewLSF() }},
+		{"Multifactor (SLURM-style)", func() sched.Policy { return sched.NewMultifactor() }},
+	} {
+		for _, ignore := range []bool{false, true} {
+			sys := b.sys
+			sys.NewPolicy = pol.mk
+			natives := job.CloneAll(b.log)
+			sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
+			sm.Submit(natives...)
+			ctrl := core.NewController(spec)
+			ctrl.StopAt = sys.Workload.Duration()
+			ctrl.IgnorePlan = ignore
+			ctrl.Attach(sm)
+			sm.Run()
+			row := summarizeContinual(sys, natives, ctrl.Jobs)
+			guard := "guard on"
+			if ignore {
+				guard = "guard OFF"
+			}
+			row.Label = pol.label + ", " + guard
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// AblationJobWidth sweeps CPUs/job at fixed per-job work — the other axis
+// of the paper's guidelines ("Number of CPUs/interstitial-job must be
+// small"). Wide jobs suffer space breakage and block less often.
+func AblationJobWidth(l *Lab) *AblationResult {
+	b := l.Baseline("Blue Mountain")
+	res := &AblationResult{
+		Title: "Ablation: interstitial job width (Blue Mountain, continual, 120s@1GHz each)",
+		Note:  "paper guideline: few CPUs/job — wide jobs waste breakage and fit fewer holes",
+	}
+	for _, cpus := range []int{1, 8, 32, 128, 512} {
+		spec := core.JobSpec{CPUs: cpus, Runtime: b.sys.Seconds1GHz(120)}
+		res.Rows = append(res.Rows, runScenario(fmt.Sprintf("%d CPUs/job", cpus), b.sys, b.log, spec, 0))
+	}
+	return res
+}
+
+// UtilizationSweep re-derives the paper's headline claim — "interstitial
+// computing can be applied very effectively up to very high utilizations"
+// — on a synthetic machine whose native load is dialed from 50% to 95%:
+// harvested cycles track the spare capacity N(1-U) while native medians
+// stay put.
+func UtilizationSweep(l *Lab) *AblationResult {
+	o := l.Options()
+	res := &AblationResult{
+		Title: "Utilization sweep: interstitial harvest vs native load (Blue Mountain hardware)",
+		Note:  "harvest tracks spare capacity N(1-U); native medians stay near baseline",
+	}
+	for _, u := range []float64{0.50, 0.65, 0.79, 0.88, 0.95} {
+		sys := o.scaled(testbed.BlueMountain())
+		sys.Workload.TargetUtil = u
+		log := workload.Generate(sys.Workload, o.Seed)
+		spec := core.JobSpec{CPUs: 32, Runtime: sys.Seconds1GHz(120)}
+		res.Rows = append(res.Rows, runScenario(fmt.Sprintf("native load %.2f", u), sys, log, spec, 0))
+	}
+	return res
+}
+
+// AblationCapSweep extends Table 8b to a finer utilization-cap sweep.
+func AblationCapSweep(l *Lab) *AblationResult {
+	b := l.Baseline("Blue Mountain")
+	spec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(120)}
+	res := &AblationResult{
+		Title: "Ablation: utilization-cap sweep (Blue Mountain, continual 32CPU × 120s@1GHz)",
+	}
+	for _, cap := range []float64{0.85, 0.90, 0.93, 0.95, 0.98, 1.0, 0} {
+		label := fmt.Sprintf("cap %.2f", cap)
+		if cap == 0 {
+			label = "uncapped"
+		}
+		res.Rows = append(res.Rows, runScenario(label, b.sys, b.log, spec, cap))
+	}
+	return res
+}

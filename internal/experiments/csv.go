@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVer is implemented by results that can export their data points as
+// CSV for external plotting; every experiment in this package does.
+type CSVer interface {
+	CSV(w io.Writer) error
+}
+
+func writeAll(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(x float64) string { return strconv.FormatFloat(x, 'g', 6, 64) }
+func d(x int) string     { return strconv.Itoa(x) }
+
+// CSV exports Table 1.
+func (r *Table1Result) CSV(w io.Writer) error {
+	rows := [][]string{{"machine", "cpus", "clock_ghz", "tcycles", "util_paper", "util_simulated", "days", "jobs", "policy", "backfill"}}
+	for _, x := range r.Rows {
+		rows = append(rows, []string{x.Name, d(x.CPUs), f(x.ClockGHz), f(x.TeraCycles), f(x.TargetUtil), f(x.AchievedUtil), f(x.Days), d(x.Jobs), x.Policy, x.Backfill})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV exports every omniscient makespan sample of Table 2.
+func (r *Table2Result) CSV(w io.Writer) error {
+	rows := [][]string{{"petacycles", "kjobs", "cpus_per_job", "machine", "sample", "makespan_h", "theory_h"}}
+	for i, p := range r.Projects {
+		for m, name := range r.Machines {
+			c := r.Cells[i][m]
+			for s, h := range c.Samples {
+				rows = append(rows, []string{f(p.PetaCycles), d(p.KJobs), d(p.CPUsPerJob), name, d(s), f(h), f(c.TheoryH)})
+			}
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// CSV exports Table 3.
+func (r *Table3Result) CSV(w io.Writer) error {
+	rows := [][]string{{"machine", "breakage_theory", "breakage_actual"}}
+	for i, m := range r.Machines {
+		rows = append(rows, []string{m, f(r.Theory[i]), f(r.Actual[i])})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV exports the fit parameters.
+func (r *TheoryFitResult) CSV(w io.Writer) error {
+	return writeAll(w, [][]string{
+		{"intercept_sec", "slope", "r2", "n"},
+		{f(r.A), f(r.B), f(r.R2), d(r.N)},
+	})
+}
+
+// CSV exports the Figure 2 scatter.
+func (r *Figure2Result) CSV(w io.Writer) error {
+	rows := [][]string{{"theory_h", "actual_h", "cpus_per_job"}}
+	for i := range r.TheoryH {
+		rows = append(rows, []string{f(r.TheoryH[i]), f(r.ActualH[i]), d(r.CPUs[i])})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV exports every short-term makespan sample of Table 4.
+func (r *Table4Result) CSV(w io.Writer) error {
+	rows := [][]string{{"petacycles", "kjobs", "cpus", "sec_1ghz", "machine", "sample", "makespan_h"}}
+	for i, row := range r.Rows {
+		for m, name := range r.Machines {
+			c := r.Cells[i][m]
+			if c.NA {
+				rows = append(rows, []string{f(row.PetaCycles), d(row.KJobs), d(row.CPUs), f(row.Sec1GHz), name, "", "NA"})
+				continue
+			}
+			for s, h := range c.Samples {
+				rows = append(rows, []string{f(row.PetaCycles), d(row.KJobs), d(row.CPUs), f(row.Sec1GHz), name, d(s), f(h)})
+			}
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// CSV exports both Figure 3 CDFs as samples.
+func (r *Figure3Result) CSV(w io.Writer) error {
+	rows := [][]string{{"config", "makespan_h"}}
+	for _, h := range r.ShortJobs {
+		rows = append(rows, []string{"32kx458s", f(h)})
+	}
+	for _, h := range r.LongJobs {
+		rows = append(rows, []string{"4kx3664s", f(h)})
+	}
+	rows = append(rows, []string{"theory_min_h", f(r.TheoryMinH)}, []string{"theory_util_h", f(r.TheoryUtilH)})
+	return writeAll(w, rows)
+}
+
+// CSV exports Table 5.
+func (r *Table5Result) CSV(w io.Writer) error {
+	rows := [][]string{{"scenario", "interstitial_jobs", "wait_all_mean_s", "wait_all_median_s", "ef_all_mean", "ef_all_median", "wait_big_mean_s", "wait_big_median_s", "ef_big_mean", "ef_big_median"}}
+	for _, s := range r.Scenarios {
+		rows = append(rows, []string{s.Label, d(s.InterstitialJobs),
+			f(s.WaitAll.Mean), f(s.WaitAll.Median), f(s.EFAll.Mean), f(s.EFAll.Median),
+			f(s.WaitBig.Mean), f(s.WaitBig.Median), f(s.EFBig.Mean), f(s.EFBig.Median)})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV exports a continual table (Tables 6, 7, 8a, 8b).
+func (r *ContinualResult) CSV(w io.Writer) error {
+	rows := [][]string{{"scenario", "interstitial_jobs", "native_jobs", "native_finished", "overall_util", "native_util", "median_wait_all_s", "median_wait_big_s", "mean_wait_all_s"}}
+	for _, c := range r.Columns {
+		rows = append(rows, []string{c.Label, d(c.InterstitialJobs), d(c.NativeJobs), d(c.NativeFinished),
+			f(c.OverallUtil), f(c.NativeUtil), f(c.MedianWaitAll), f(c.MedianWaitBig), f(c.MeanWaitAll)})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV exports the hourly utilization series of Figure 4.
+func (r *Figure4Result) CSV(w io.Writer) error {
+	rows := [][]string{{"hour", "util_without", "util_with"}}
+	for i := range r.Without {
+		rows = append(rows, []string{d(i), f(r.Without[i]), f(r.With[i])})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV exports a wait histogram (Figures 5, 6).
+func (r *WaitHistogramResult) CSV(w io.Writer) error {
+	rows := [][]string{{"scenario", "decade_log10s", "probability"}}
+	for _, name := range r.Order {
+		for b, p := range r.Series[name] {
+			rows = append(rows, []string{name, d(b), f(p)})
+		}
+	}
+	return writeAll(w, rows)
+}
+
+// CSV exports an ablation table.
+func (r *AblationResult) CSV(w io.Writer) error {
+	rows := [][]string{{"scenario", "interstitial_jobs", "harvested_cpuh", "overall_util", "native_util", "native_median_wait_s", "native_mean_wait_s", "big_median_wait_s"}}
+	for _, x := range r.Rows {
+		rows = append(rows, []string{x.Label, d(x.InterstitialJobs), f(x.HarvestedCPUh), f(x.OverallUtil), f(x.NativeUtil), f(x.NativeMedianWait), f(x.NativeMeanWait), f(x.BigMedianWait)})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV exports the sampling validation.
+func (r *ValidateSamplingResult) CSV(w io.Writer) error {
+	rows := [][]string{{"start_h", "extracted_h", "direct_h"}}
+	for _, x := range r.Rows {
+		rows = append(rows, []string{f(x.StartH), f(x.ExtractedH), f(x.DirectH)})
+	}
+	return writeAll(w, rows)
+}
+
+// CSV exports the seed-robustness sweep.
+func (r *SeedRobustnessResult) CSV(w io.Writer) error {
+	rows := [][]string{{"seed", "util_gain", "native_shift"}}
+	for i := range r.Seeds {
+		rows = append(rows, []string{fmt.Sprint(r.Seeds[i]), f(r.UtilGain[i]), f(r.NativeShift[i])})
+	}
+	return writeAll(w, rows)
+}

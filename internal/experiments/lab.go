@@ -1,0 +1,214 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (Section 4). Each experiment is a function from Options to a
+// typed result that knows how to render itself in the paper's row format.
+//
+// Experiments share a Lab, which memoizes the expensive artifacts: the
+// calibrated native logs, the native-only baseline runs, and the continual
+// interstitial runs that several tables slice differently.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"interstitial/internal/core"
+	"interstitial/internal/engine"
+	"interstitial/internal/job"
+	"interstitial/internal/sim"
+	"interstitial/internal/testbed"
+)
+
+// Options control experiment scale and reproducibility.
+type Options struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Scale in (0,1] shrinks the logs (days and job count) for fast test
+	// and benchmark runs; 1.0 reproduces the paper-scale runs.
+	Scale float64
+	// Reps overrides the number of random project starts (paper: 20).
+	// Zero means the experiment default.
+	Reps int
+	// Samples overrides the number of short-term windows sampled from a
+	// continual run (paper: 500). Zero means the default.
+	Samples int
+}
+
+// DefaultOptions runs at paper scale.
+func DefaultOptions() Options { return Options{Seed: 1, Scale: 1} }
+
+func (o Options) normalized() Options {
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Reps <= 0 {
+		o.Reps = 20
+	}
+	if o.Samples <= 0 {
+		o.Samples = 500
+	}
+	return o
+}
+
+// scaled shrinks a system's workload profile by o.Scale.
+func (o Options) scaled(s testbed.System) testbed.System {
+	if o.Scale >= 1 {
+		return s
+	}
+	s.Workload.Days *= o.Scale
+	s.Workload.Jobs = int(float64(s.Workload.Jobs) * o.Scale)
+	if s.Workload.Jobs < 50 {
+		s.Workload.Jobs = 50
+	}
+	// A weeks-scale runtime tail cannot live inside a days-scale log:
+	// clamp it so calibration can still reach the target utilization.
+	if maxH := s.Workload.Days * 24 / 3; s.Workload.LongJobMaxHours > maxH {
+		s.Workload.LongJobMaxHours = maxH
+	}
+	return s
+}
+
+// scaledProject shrinks a project spec, preserving the per-job spec (CPUs
+// and seconds@1GHz) while reducing the job count.
+func (o Options) scaledProject(p core.ProjectSpec) core.ProjectSpec {
+	if o.Scale >= 1 {
+		return p
+	}
+	k := int(float64(p.KJobs) * o.Scale)
+	if k < 10 {
+		k = 10
+	}
+	p.PetaCycles *= float64(k) / float64(p.KJobs)
+	p.KJobs = k
+	return p
+}
+
+// baseline bundles a system's calibrated log and its native-only run.
+type baseline struct {
+	sys     testbed.System
+	log     []*job.Job // pristine, unsimulated
+	ran     []*job.Job // the same jobs after the native-only run
+	sim     *engine.Simulator
+	utilNat float64
+}
+
+// continualKey identifies a memoized continual interstitial run.
+type continualKey struct {
+	system  string
+	cpus    int
+	runtime sim.Time
+	cap     int // UtilCap in percent; 0 = uncapped
+}
+
+// continualRun is a finished continual-interstitial simulation.
+type continualRun struct {
+	natives      []*job.Job
+	interstitial []*job.Job
+	ctrl         *core.Controller
+}
+
+// Lab memoizes expensive shared artifacts across experiments. Lab methods
+// are safe for concurrent use; cache misses are computed under the lock,
+// so concurrent callers of the *same* artifact serialize (and distinct
+// artifacts serialize too — the parallelism in this package lives inside
+// experiments, across independent replications).
+type Lab struct {
+	mu        sync.Mutex
+	opts      Options
+	baselines map[string]*baseline
+	continual map[continualKey]*continualRun
+}
+
+// NewLab builds a lab for the options.
+func NewLab(o Options) *Lab {
+	return &Lab{
+		opts:      o.normalized(),
+		baselines: make(map[string]*baseline),
+		continual: make(map[continualKey]*continualRun),
+	}
+}
+
+// Options returns the normalized options.
+func (l *Lab) Options() Options { return l.opts }
+
+// System returns the (possibly scaled) testbed system by name.
+func (l *Lab) System(name string) testbed.System {
+	for _, s := range testbed.All() {
+		if s.Name == name {
+			return l.opts.scaled(s)
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown system %q", name))
+}
+
+// Baseline returns the memoized calibrated log + native-only run for a
+// system.
+func (l *Lab) Baseline(name string) *baseline {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b, ok := l.baselines[name]; ok {
+		return b
+	}
+	sys := l.System(name)
+	log := sys.CalibratedLog(l.opts.Seed, 0.015)
+	ran := job.CloneAll(log)
+	sm, util := sys.RunNative(ran)
+	b := &baseline{sys: sys, log: log, ran: ran, sim: sm, utilNat: util}
+	l.baselines[name] = b
+	return b
+}
+
+// Continual returns the memoized continual-interstitial run for a system
+// and job spec, with an optional utilization cap (in percent).
+func (l *Lab) Continual(name string, spec core.JobSpec, capPct int) *continualRun {
+	b := l.Baseline(name) // resolve before taking the lock (re-entrancy)
+	key := continualKey{system: name, cpus: spec.CPUs, runtime: spec.Runtime, cap: capPct}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r, ok := l.continual[key]; ok {
+		return r
+	}
+	natives := job.CloneAll(b.log)
+	sm := b.sys.NewSimulator()
+	sm.Submit(natives...)
+	ctrl := core.NewController(spec)
+	ctrl.StopAt = b.sys.Workload.Duration()
+	if capPct > 0 {
+		ctrl.UtilCap = float64(capPct) / 100
+	}
+	ctrl.Attach(sm)
+	sm.Run()
+	r := &continualRun{natives: natives, interstitial: ctrl.Jobs, ctrl: ctrl}
+	l.continual[key] = r
+	return r
+}
+
+// all returns natives + interstitial records of a continual run.
+func (r *continualRun) all() []*job.Job {
+	out := make([]*job.Job, 0, len(r.natives)+len(r.interstitial))
+	out = append(out, r.natives...)
+	out = append(out, r.interstitial...)
+	return out
+}
+
+// randomStarts draws n project start times uniformly over the first frac
+// of the horizon.
+func randomStarts(r *rand.Rand, n int, horizon sim.Time, frac float64) []sim.Time {
+	out := make([]sim.Time, n)
+	for i := range out {
+		out[i] = sim.Time(r.Float64() * frac * float64(horizon))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Renderer is implemented by all experiment results.
+type Renderer interface {
+	// Render writes the paper-style table or figure to w.
+	Render(w io.Writer) error
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ASCIIPlot is a minimal terminal scatter plot used to render the paper's
+// figures in text form.
+type ASCIIPlot struct {
+	w, h       int
+	xs, ys     []float64
+	marks      []byte
+	diag       byte
+	xmin, xmax float64
+	ymin, ymax float64
+}
+
+// NewASCIIPlot allocates a plot grid of the given character dimensions.
+func NewASCIIPlot(w, h int) *ASCIIPlot {
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+	return &ASCIIPlot{w: w, h: h}
+}
+
+// Add places a point.
+func (p *ASCIIPlot) Add(x, y float64, mark byte) {
+	p.xs = append(p.xs, x)
+	p.ys = append(p.ys, y)
+	p.marks = append(p.marks, mark)
+}
+
+// Diagonal draws the y=x reference line with the given mark.
+func (p *ASCIIPlot) Diagonal(mark byte) { p.diag = mark }
+
+// Render writes the plot.
+func (p *ASCIIPlot) Render(w io.Writer) error {
+	if len(p.xs) == 0 {
+		_, err := fmt.Fprintln(w, "  (no points)")
+		return err
+	}
+	p.xmin, p.xmax = minMax(p.xs)
+	p.ymin, p.ymax = minMax(p.ys)
+	if p.diag != 0 {
+		// The diagonal needs a shared scale.
+		lo := math.Min(p.xmin, p.ymin)
+		hi := math.Max(p.xmax, p.ymax)
+		p.xmin, p.ymin, p.xmax, p.ymax = lo, lo, hi, hi
+	}
+	if p.xmax == p.xmin {
+		p.xmax = p.xmin + 1
+	}
+	if p.ymax == p.ymin {
+		p.ymax = p.ymin + 1
+	}
+	grid := make([][]byte, p.h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.w))
+	}
+	if p.diag != 0 {
+		for c := 0; c < p.w; c++ {
+			x := p.xmin + (p.xmax-p.xmin)*float64(c)/float64(p.w-1)
+			r := p.rowFor(x)
+			if r >= 0 && r < p.h {
+				grid[r][c] = p.diag
+			}
+		}
+	}
+	for i := range p.xs {
+		c := p.colFor(p.xs[i])
+		r := p.rowFor(p.ys[i])
+		if c >= 0 && c < p.w && r >= 0 && r < p.h {
+			grid[r][c] = p.marks[i]
+		}
+	}
+	for r := 0; r < p.h; r++ {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.1f", p.ymax)
+		case p.h - 1:
+			label = fmt.Sprintf("%8.1f", p.ymin)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		if _, err := fmt.Fprintf(w, "  %s |%s|\n", label, grid[r]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  %8s  %-10.1f%s%10.1f\n", "", p.xmin, strings.Repeat(" ", max(0, p.w-20)), p.xmax)
+	return err
+}
+
+func (p *ASCIIPlot) colFor(x float64) int {
+	return int((x - p.xmin) / (p.xmax - p.xmin) * float64(p.w-1))
+}
+
+func (p *ASCIIPlot) rowFor(y float64) int {
+	return p.h - 1 - int((y-p.ymin)/(p.ymax-p.ymin)*float64(p.h-1))
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderBars prints a labeled horizontal bar chart (used for the Figure
+// 5/6 histograms).
+func RenderBars(w io.Writer, labels []string, series map[string][]float64, order []string, width int) error {
+	if width < 10 {
+		width = 40
+	}
+	var peak float64
+	for _, vs := range series {
+		for _, v := range vs {
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	for i, lab := range labels {
+		if _, err := fmt.Fprintf(w, "  %-8s", lab); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		for _, name := range order {
+			v := series[name][i]
+			n := int(v / peak * float64(width))
+			fmt.Fprintf(w, "    %-22s %s %.3f\n", name, strings.Repeat("#", n), v)
+		}
+	}
+	return nil
+}
+
+// Sparkline renders a utilization series as a compact one-line-per-chunk
+// strip chart (used for Figure 4).
+func Sparkline(w io.Writer, series []float64, perLine int) error {
+	ramp := []byte(" .:-=+*#%@")
+	for i := 0; i < len(series); i += perLine {
+		end := i + perLine
+		if end > len(series) {
+			end = len(series)
+		}
+		var sb strings.Builder
+		for _, v := range series[i:end] {
+			k := int(v * float64(len(ramp)-1))
+			if k < 0 {
+				k = 0
+			}
+			if k >= len(ramp) {
+				k = len(ramp) - 1
+			}
+			sb.WriteByte(ramp[k])
+		}
+		if _, err := fmt.Fprintf(w, "  h%05d |%s|\n", i, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Registry resolves experiment names to runners, caching the shared
+// Table 2 / Table 4 sweeps that several experiments derive from. It backs
+// cmd/experiments and is usable directly by library consumers.
+type Registry struct {
+	lab *Lab
+	t2  *Table2Result
+	t4  *Table4Result
+}
+
+// NewRegistry wraps a lab.
+func NewRegistry(l *Lab) *Registry { return &Registry{lab: l} }
+
+// PaperNames lists the paper's experiments in evaluation order.
+func PaperNames() []string {
+	return []string{"table1", "table2", "table3", "theoryfit", "figure2", "table4",
+		"figure3", "table5", "table6", "figure4", "figure5", "figure6",
+		"table7", "table8ross", "table8limited"}
+}
+
+// ExtensionNames lists the beyond-the-paper studies.
+func ExtensionNames() []string {
+	return []string{"ablation-estimates", "ablation-backfill", "ablation-burstiness",
+		"ablation-joblength", "ablation-jobwidth", "ablation-guard", "ablation-capsweep",
+		"ablation-preemption", "ablation-prediction", "utilization-sweep",
+		"validate-sampling", "seed-robustness", "correlations", "figure4-outages"}
+}
+
+// AllNames lists every runnable experiment, sorted.
+func AllNames() []string {
+	names := append(PaperNames(), ExtensionNames()...)
+	sort.Strings(names)
+	return names
+}
+
+// table2 memoizes the omniscient sweep.
+func (g *Registry) table2() (*Table2Result, error) {
+	if g.t2 == nil {
+		t2, err := Table2(g.lab)
+		if err != nil {
+			return nil, err
+		}
+		g.t2 = t2
+	}
+	return g.t2, nil
+}
+
+// table4 memoizes the fallible short-term sweep.
+func (g *Registry) table4() *Table4Result {
+	if g.t4 == nil {
+		g.t4 = Table4(g.lab)
+	}
+	return g.t4
+}
+
+// Run executes one experiment by name.
+func (g *Registry) Run(name string) (Renderer, error) {
+	switch name {
+	case "table1":
+		return Table1(g.lab), nil
+	case "table2":
+		return g.table2()
+	case "table3":
+		t2, err := g.table2()
+		if err != nil {
+			return nil, err
+		}
+		return Table3(g.lab, t2), nil
+	case "theoryfit":
+		t2, err := g.table2()
+		if err != nil {
+			return nil, err
+		}
+		return TheoryFit(t2)
+	case "figure2":
+		t2, err := g.table2()
+		if err != nil {
+			return nil, err
+		}
+		return Figure2(t2), nil
+	case "table4":
+		return g.table4(), nil
+	case "figure3":
+		return Figure3(g.lab, g.table4()), nil
+	case "table5":
+		return Table5(g.lab), nil
+	case "table6":
+		return Table6(g.lab), nil
+	case "table7":
+		return Table7(g.lab), nil
+	case "table8ross":
+		return Table8Ross(g.lab), nil
+	case "table8limited":
+		return Table8Limited(g.lab), nil
+	case "figure4":
+		return Figure4(g.lab), nil
+	case "figure4-outages":
+		return Figure4Outages(g.lab), nil
+	case "figure5":
+		return Figure5(g.lab), nil
+	case "figure6":
+		return Figure6(g.lab), nil
+	case "validate-sampling":
+		return ValidateSampling(g.lab), nil
+	case "correlations":
+		return Correlations(g.lab), nil
+	case "seed-robustness":
+		return SeedRobustness(g.lab, 5), nil
+	case "ablation-estimates":
+		return AblationEstimates(g.lab), nil
+	case "ablation-backfill":
+		return AblationBackfill(g.lab), nil
+	case "ablation-burstiness":
+		return AblationBurstiness(g.lab), nil
+	case "ablation-joblength":
+		return AblationJobLength(g.lab), nil
+	case "ablation-jobwidth":
+		return AblationJobWidth(g.lab), nil
+	case "ablation-guard":
+		return AblationGuard(g.lab), nil
+	case "utilization-sweep":
+		return UtilizationSweep(g.lab), nil
+	case "ablation-prediction":
+		return AblationPrediction(g.lab), nil
+	case "ablation-preemption":
+		return AblationPreemption(g.lab), nil
+	case "ablation-capsweep":
+		return AblationCapSweep(g.lab), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (valid: %v)", name, AllNames())
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Table1Row describes one machine the way the paper's Table 1 does, with
+// both the configured (paper) values and what the synthetic log achieved
+// in simulation.
+type Table1Row struct {
+	Name         string
+	CPUs         int
+	ClockGHz     float64
+	TeraCycles   float64
+	TargetUtil   float64
+	AchievedUtil float64
+	Days         float64
+	Jobs         int
+	Policy       string
+	Backfill     string
+}
+
+// Table1Result reproduces Table 1: the comparison of ASCI machines.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 generates the three calibrated machine logs, runs them natively,
+// and reports the Table 1 characteristics next to the achieved values.
+func Table1(l *Lab) *Table1Result {
+	res := &Table1Result{}
+	for _, name := range []string{"Ross", "Blue Mountain", "Blue Pacific"} {
+		b := l.Baseline(name)
+		w := b.sys.Workload
+		pol := b.sys.NewPolicy()
+		res.Rows = append(res.Rows, Table1Row{
+			Name:         name,
+			CPUs:         w.Machine.CPUs,
+			ClockGHz:     w.Machine.ClockGHz,
+			TeraCycles:   w.Machine.TeraCycles(),
+			TargetUtil:   w.TargetUtil,
+			AchievedUtil: b.utilNat,
+			Days:         w.Days,
+			Jobs:         w.Jobs,
+			Policy:       pol.Name(),
+			Backfill:     pol.Backfill().String(),
+		})
+	}
+	return res
+}
+
+// Render writes the table.
+func (r *Table1Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Table 1. Comparison of ASCI Machines")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "\t")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t", row.Name)
+	}
+	fmt.Fprintln(tw)
+	line := func(label string, f func(Table1Row) string) {
+		fmt.Fprintf(tw, "%s\t", label)
+		for _, row := range r.Rows {
+			fmt.Fprintf(tw, "%s\t", f(row))
+		}
+		fmt.Fprintln(tw)
+	}
+	line("CPUs", func(x Table1Row) string { return fmt.Sprintf("%d", x.CPUs) })
+	line("clock GHz", func(x Table1Row) string { return fmt.Sprintf("%.3f", x.ClockGHz) })
+	line("TCycles", func(x Table1Row) string { return fmt.Sprintf("%.3f", x.TeraCycles) })
+	line("Utilization (paper)", func(x Table1Row) string { return fmt.Sprintf("%.3f", x.TargetUtil) })
+	line("Utilization (simulated)", func(x Table1Row) string { return fmt.Sprintf("%.3f", x.AchievedUtil) })
+	line("times days", func(x Table1Row) string { return fmt.Sprintf("%.1f", x.Days) })
+	line("Jobs", func(x Table1Row) string { return fmt.Sprintf("%d", x.Jobs) })
+	line("Queue algorithm", func(x Table1Row) string { return fmt.Sprintf("%s (%s)", x.Policy, x.Backfill) })
+	return tw.Flush()
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+
+	"interstitial/internal/core"
+	"interstitial/internal/rng"
+	"interstitial/internal/stats"
+	"interstitial/internal/theory"
+)
+
+// Table2Projects are the six project configurations of Table 2: three
+// sizes, each at the two CPU/job extremes.
+func Table2Projects() []core.ProjectSpec {
+	return []core.ProjectSpec{
+		{PetaCycles: 7.7, KJobs: 64000, CPUsPerJob: 1},
+		{PetaCycles: 7.7, KJobs: 2000, CPUsPerJob: 32},
+		{PetaCycles: 30.1, KJobs: 256000, CPUsPerJob: 1},
+		{PetaCycles: 30.1, KJobs: 8000, CPUsPerJob: 32},
+		{PetaCycles: 123, KJobs: 1024000, CPUsPerJob: 1},
+		{PetaCycles: 123, KJobs: 32000, CPUsPerJob: 32},
+	}
+}
+
+// Table2Cell is one machine x project entry: makespan avg +- std over the
+// random project starts, in hours.
+type Table2Cell struct {
+	MeanH float64
+	StdH  float64
+	// TheoryH is the ideal-law prediction P/(nC(1-U)) for this machine.
+	TheoryH float64
+	// Samples holds the individual makespans (hours) for Figure 2 /
+	// theory fitting.
+	Samples []float64
+}
+
+// Table2Result reproduces Table 2: omniscient project makespans.
+type Table2Result struct {
+	Projects []core.ProjectSpec
+	Machines []string
+	// Cells[i][m] is project i on machine m.
+	Cells [][]Table2Cell
+}
+
+// Table2 packs each project into each machine's recorded free-capacity
+// timeline at Reps random start times, with perfect knowledge of native
+// starts and finishes (Section 4.1).
+func Table2(l *Lab) (*Table2Result, error) {
+	o := l.Options()
+	res := &Table2Result{Machines: []string{"Ross", "Blue Mountain", "Blue Pacific"}}
+	for _, p := range Table2Projects() {
+		res.Projects = append(res.Projects, o.scaledProject(p))
+	}
+	r := rng.New(o.Seed + 100)
+	for i, p := range res.Projects {
+		res.Cells = append(res.Cells, make([]Table2Cell, len(res.Machines)))
+		for m, name := range res.Machines {
+			b := l.Baseline(name)
+			horizon := b.sys.Workload.Duration()
+			// Tile enough log copies that the biggest project fits from
+			// any start inside the first period.
+			spec := p.JobSpecFor(b.sys.Workload.Machine.ClockGHz)
+			ideal := theory.Makespan(p.PetaCycles, b.sys.Workload.Machine.CPUs, b.sys.Workload.Machine.ClockGHz, b.utilNat)
+			copies := int(ideal*3/float64(horizon)) + 2
+			free := core.FreeTimeline(b.ran, b.sys.Workload.Machine.CPUs, horizon, copies)
+			starts := randomStarts(r, o.Reps, horizon, 1.0)
+			// Replications are independent packs into clones of the same
+			// timeline: fan them out across the cores. Results land by
+			// index, so the output is bit-identical to the serial run.
+			hours := make([]float64, len(starts))
+			errs := make([]error, len(starts))
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, runtime.NumCPU())
+			for k, t0 := range starts {
+				k, t0 := k, t0
+				wg.Add(1)
+				sem <- struct{}{}
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					pr, err := core.PackProject(free.Clone(), spec, t0, p.KJobs)
+					if err != nil {
+						errs[k] = err
+						return
+					}
+					hours[k] = pr.Makespan.HoursF()
+				}()
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return nil, fmt.Errorf("table2 %s %v: %w", name, p, err)
+				}
+			}
+			sum := stats.Summarize(hours)
+			res.Cells[i][m] = Table2Cell{MeanH: sum.Mean, StdH: sum.Std, TheoryH: ideal / 3600, Samples: hours}
+		}
+	}
+	return res, nil
+}
+
+// Render writes the paper-style table.
+func (r *Table2Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Table 2. Omniscient Interstitial Project Makespan (hours, avg ± std)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "PetaCycles\tkJobs\tCPU/Job\t")
+	for _, m := range r.Machines {
+		fmt.Fprintf(tw, "%s\t", m)
+	}
+	fmt.Fprintln(tw)
+	for i, p := range r.Projects {
+		fmt.Fprintf(tw, "%.1f\t%d\t%d\t", p.PetaCycles, p.KJobs/1000, p.CPUsPerJob)
+		for m := range r.Machines {
+			c := r.Cells[i][m]
+			fmt.Fprintf(tw, "%.1f ± %.1f\t", c.MeanH, c.StdH)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Table3Result reproduces Table 3: the 32-CPU vs 1-CPU makespan ratio
+// (breakage), theory vs actual, per machine.
+type Table3Result struct {
+	Machines []string
+	Theory   []float64
+	Actual   []float64
+}
+
+// Table3 derives the breakage comparison from Table 2 data.
+func Table3(l *Lab, t2 *Table2Result) *Table3Result {
+	res := &Table3Result{Machines: t2.Machines}
+	for m, name := range t2.Machines {
+		b := l.Baseline(name)
+		res.Theory = append(res.Theory, theory.Breakage(b.sys.Workload.Machine.CPUs, b.utilNat, 32))
+		// Actual: mean over the three project sizes of ratio 32-CPU
+		// makespan / 1-CPU makespan.
+		var ratioSum float64
+		var n int
+		for i := 0; i+1 < len(t2.Projects); i += 2 {
+			one := t2.Cells[i][m].MeanH
+			thirtyTwo := t2.Cells[i+1][m].MeanH
+			if one > 0 {
+				ratioSum += thirtyTwo / one
+				n++
+			}
+		}
+		if n > 0 {
+			res.Actual = append(res.Actual, ratioSum/float64(n))
+		} else {
+			res.Actual = append(res.Actual, 0)
+		}
+	}
+	return res
+}
+
+// Render writes the table.
+func (r *Table3Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Table 3. 1-CPU vs 32-CPU jobs: breakage factor")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "\t")
+	for _, m := range r.Machines {
+		fmt.Fprintf(tw, "%s\t", m)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "Theory\t")
+	for _, v := range r.Theory {
+		fmt.Fprintf(tw, "%.3f\t", v)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "Actual\t")
+	for _, v := range r.Actual {
+		fmt.Fprintf(tw, "%.3f\t", v)
+	}
+	fmt.Fprintln(tw)
+	return tw.Flush()
+}
+
+// TheoryFitResult reproduces the Section 4.2 empirical fit
+// Makespan = a + b * P/(nC(1-U)) over all Table 2 points.
+type TheoryFitResult struct {
+	A  float64 // paper: 5256 seconds
+	B  float64 // paper: 1.16
+	R2 float64
+	N  int
+}
+
+// TheoryFit regresses measured omniscient makespans against the ideal law.
+func TheoryFit(t2 *Table2Result) (*TheoryFitResult, error) {
+	var xs, ys []float64
+	for i := range t2.Projects {
+		for m := range t2.Machines {
+			c := t2.Cells[i][m]
+			for _, h := range c.Samples {
+				xs = append(xs, c.TheoryH*3600)
+				ys = append(ys, h*3600)
+			}
+		}
+	}
+	a, b, r2, err := theory.LinearFit(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	return &TheoryFitResult{A: a, B: b, R2: r2, N: len(xs)}, nil
+}
+
+// Render writes the fitted formula.
+func (r *TheoryFitResult) Render(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "Section 4.2 fit over %d omniscient runs:\n  Makespan(sec) = %.0f + %.2f × P/(nC(1−U))   (r² = %.3f)\n  paper:          5256 + 1.16 × P/(nC(1−U))\n", r.N, r.A, r.B, r.R2)
+	return err
+}
+
+// Figure2Result reproduces Figure 2: actual vs theoretical makespan
+// scatter, split by CPU/job.
+type Figure2Result struct {
+	// Points are (theoryHours, actualHours, cpusPerJob) triples.
+	TheoryH []float64
+	ActualH []float64
+	CPUs    []int
+}
+
+// Figure2 extracts the scatter data from the Table 2 sweep.
+func Figure2(t2 *Table2Result) *Figure2Result {
+	res := &Figure2Result{}
+	for i, p := range t2.Projects {
+		for m := range t2.Machines {
+			c := t2.Cells[i][m]
+			for _, h := range c.Samples {
+				res.TheoryH = append(res.TheoryH, c.TheoryH)
+				res.ActualH = append(res.ActualH, h)
+				res.CPUs = append(res.CPUs, p.CPUsPerJob)
+			}
+		}
+	}
+	return res
+}
+
+// Render prints the scatter as an aligned table plus an ASCII plot.
+func (r *Figure2Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 2. Actual vs theoretical makespan (hours); 1-CPU and 32-CPU points")
+	plot := NewASCIIPlot(64, 20)
+	for i := range r.TheoryH {
+		mark := byte('o') // 1-CPU
+		if r.CPUs[i] == 32 {
+			mark = 'x'
+		}
+		plot.Add(r.TheoryH[i], r.ActualH[i], mark)
+	}
+	plot.Diagonal('.')
+	if err := plot.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "  o = 1-CPU jobs, x = 32-CPU jobs, . = y=x")
+	return err
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"interstitial/internal/core"
+	"interstitial/internal/job"
+	"interstitial/internal/stats"
+)
+
+// Table5Scenario is one column of Table 5: native jobs alone or alongside
+// one finite interstitial project.
+type Table5Scenario struct {
+	Label string
+	// Wait/EF summaries over all native jobs and the 5% largest (by
+	// CPU-seconds).
+	WaitAll, WaitBig stats.Summary
+	EFAll, EFBig     stats.Summary
+	InterstitialJobs int
+}
+
+// Table5Result reproduces Table 5: native job performance on Blue
+// Mountain without and with the two 123-Pc 32-CPU projects.
+type Table5Result struct {
+	Scenarios []Table5Scenario
+}
+
+// Table5 co-simulates each scenario end to end (no sampling shortcut):
+// one finite project dropped into the log at a fixed fraction of the
+// horizon, full fair-share fallible scheduling throughout.
+func Table5(l *Lab) *Table5Result {
+	o := l.Options()
+	b := l.Baseline("Blue Mountain")
+	horizon := b.sys.Workload.Duration()
+	startAt := horizon / 4
+
+	short := o.scaledProject(core.ProjectSpec{PetaCycles: 123, KJobs: 32000, CPUsPerJob: 32})
+	long := o.scaledProject(core.ProjectSpec{PetaCycles: 123, KJobs: 4000, CPUsPerJob: 32})
+
+	res := &Table5Result{}
+	res.Scenarios = append(res.Scenarios, summarizeNatives("Native", b.ran, 0))
+
+	for _, sc := range []struct {
+		label string
+		proj  core.ProjectSpec
+	}{
+		{"Native + 32k×458s", short},
+		{"Native + 4k×3664s", long},
+	} {
+		natives := job.CloneAll(b.log)
+		sm := b.sys.NewSimulator()
+		sm.Submit(natives...)
+		spec := sc.proj.JobSpecFor(b.sys.Workload.Machine.ClockGHz)
+		ctrl := core.NewProject(spec, sc.proj.KJobs, startAt)
+		ctrl.StopAt = horizon * 4 // projects may outlive the log
+		ctrl.Attach(sm)
+		sm.Run()
+		res.Scenarios = append(res.Scenarios, summarizeNatives(sc.label, natives, len(ctrl.Jobs)))
+	}
+	return res
+}
+
+func summarizeNatives(label string, natives []*job.Job, nInterstitial int) Table5Scenario {
+	big := stats.LargestByCPUSeconds(natives, 0.05)
+	return Table5Scenario{
+		Label:            label,
+		WaitAll:          stats.Summarize(stats.Waits(natives, job.Native)),
+		WaitBig:          stats.Summarize(stats.Waits(big, job.Native)),
+		EFAll:            stats.Summarize(stats.ExpansionFactors(natives, job.Native)),
+		EFBig:            stats.Summarize(stats.ExpansionFactors(big, job.Native)),
+		InterstitialJobs: nInterstitial,
+	}
+}
+
+// Render writes the paper-style table.
+func (r *Table5Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Table 5. Native Job Performance on Blue Mountain")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "\t\t")
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(tw, "%s\t", s.Label)
+	}
+	fmt.Fprintln(tw)
+	row := func(group, metric string, f func(Table5Scenario) string) {
+		fmt.Fprintf(tw, "%s\t%s\t", group, metric)
+		for _, s := range r.Scenarios {
+			fmt.Fprintf(tw, "%s\t", f(s))
+		}
+		fmt.Fprintln(tw)
+	}
+	// Full-precision seconds: a single project's whole-log deltas are
+	// small (see EXPERIMENTS.md) and k-rounding would hide them.
+	row("All Native", "avg wait(sec)", func(s Table5Scenario) string { return fmt.Sprintf("%.0f", s.WaitAll.Mean) })
+	row("", "median wait(sec)", func(s Table5Scenario) string { return fmt.Sprintf("%.0f", s.WaitAll.Median) })
+	row("", "avg EF", func(s Table5Scenario) string { return fmt.Sprintf("%.2f", s.EFAll.Mean) })
+	row("", "median EF", func(s Table5Scenario) string { return fmt.Sprintf("%.2f", s.EFAll.Median) })
+	row("5% Largest", "avg wait(sec)", func(s Table5Scenario) string { return fmt.Sprintf("%.0f", s.WaitBig.Mean) })
+	row("", "median wait(sec)", func(s Table5Scenario) string { return fmt.Sprintf("%.0f", s.WaitBig.Median) })
+	row("", "avg EF", func(s Table5Scenario) string { return fmt.Sprintf("%.2f", s.EFBig.Mean) })
+	row("", "median EF", func(s Table5Scenario) string { return fmt.Sprintf("%.2f", s.EFBig.Median) })
+	return tw.Flush()
+}

@@ -1,0 +1,22 @@
+package job
+
+// Clone returns a fresh Created copy of j with lifecycle fields reset, so
+// a recorded log can be replayed through another simulation without the
+// first run's start/finish times leaking in.
+func (j *Job) Clone() *Job {
+	c := *j
+	c.Start = -1
+	c.Finish = -1
+	c.State = Created
+	c.Priority = 0
+	return &c
+}
+
+// CloneAll clones a whole log.
+func CloneAll(jobs []*Job) []*Job {
+	out := make([]*Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Clone()
+	}
+	return out
+}

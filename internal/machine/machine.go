@@ -1,0 +1,250 @@
+// Package machine models a space-shared supercomputer as a pool of
+// identical processors, following the paper's treatment of the ASCI
+// machines: jobs hold a fixed CPU count from start to finish, there is no
+// topology, and no time-sharing.
+//
+// The machine keeps an exact busy-CPU integral split by job class, so
+// overall and native-only utilizations (the paper's headline metrics) can
+// be read off at any time without replaying the run.
+package machine
+
+import (
+	"fmt"
+
+	"interstitial/internal/job"
+	"interstitial/internal/sim"
+)
+
+// Config describes a machine. The three ASCI profiles from Table 1 of the
+// paper are provided as constructors.
+type Config struct {
+	// Name labels the machine in reports.
+	Name string
+	// CPUs is the total processor count.
+	CPUs int
+	// ClockGHz is the per-processor clock in GHz; it converts the paper's
+	// cycle-denominated project sizes into wallclock seconds.
+	ClockGHz float64
+}
+
+// TeraCycles reports the machine capacity proxy used in Table 1:
+// CPUs x clock, in tera-cycles per second.
+func (c Config) TeraCycles() float64 { return float64(c.CPUs) * c.ClockGHz / 1000 }
+
+// Ross returns the ASCI Ross (Sandia) profile: 1436 CPUs at an averaged
+// 0.588 GHz. The paper treats its two processor flavors as identical.
+func Ross() Config { return Config{Name: "Ross", CPUs: 1436, ClockGHz: 0.588} }
+
+// BlueMountain returns the ASCI Blue Mountain (Los Alamos) profile.
+func BlueMountain() Config { return Config{Name: "Blue Mountain", CPUs: 4662, ClockGHz: 0.262} }
+
+// BluePacific returns the ASCI Blue Pacific (Livermore, large partition
+// subset) profile.
+func BluePacific() Config { return Config{Name: "Blue Pacific", CPUs: 926, ClockGHz: 0.369} }
+
+// Machine is the live CPU pool plus its utilization ledger.
+//
+// The running set is slice-backed (with an ID index for O(1) removal) so
+// the scheduler's per-pass iteration is cache-friendly, allocation-free,
+// and deterministic in start order — map iteration order was both slower
+// and a determinism hazard.
+type Machine struct {
+	cfg  Config
+	free int
+
+	running    []*job.Job  // in start order, swap-removed
+	runningIdx map[int]int // job ID -> index in running
+
+	// busy integrals in CPU-seconds, updated lazily at each state change.
+	lastUpdate      sim.Time
+	busyNativeCPUs  int
+	busyInterstCPUs int
+	nativeCPUSec    float64
+	interstCPUSec   float64
+	startedJobs     int
+	finishedJobs    int
+	peakBusy        int
+}
+
+// New returns an idle machine.
+func New(cfg Config) *Machine {
+	if cfg.CPUs < 1 {
+		panic(fmt.Sprintf("machine: %d CPUs", cfg.CPUs))
+	}
+	return &Machine{cfg: cfg, free: cfg.CPUs, runningIdx: make(map[int]int)}
+}
+
+// Config returns the machine's static description.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Free reports the number of idle CPUs.
+func (m *Machine) Free() int { return m.free }
+
+// Busy reports the number of allocated CPUs.
+func (m *Machine) Busy() int { return m.cfg.CPUs - m.free }
+
+// BusyNative reports CPUs held by native jobs.
+func (m *Machine) BusyNative() int { return m.busyNativeCPUs }
+
+// BusyInterstitial reports CPUs held by interstitial jobs.
+func (m *Machine) BusyInterstitial() int { return m.busyInterstCPUs }
+
+// RunningCount reports how many jobs currently hold CPUs.
+func (m *Machine) RunningCount() int { return len(m.running) }
+
+// PeakBusy reports the maximum concurrent allocation seen.
+func (m *Machine) PeakBusy() int { return m.peakBusy }
+
+// Running invokes fn for every running job. Iteration order is
+// deterministic (start order, perturbed by swap-removal) but not
+// meaningful; fn must not start or finish jobs.
+func (m *Machine) Running(fn func(*job.Job)) {
+	for _, j := range m.running {
+		fn(j)
+	}
+}
+
+// RunningJobs returns the running jobs as a fresh slice.
+func (m *Machine) RunningJobs() []*job.Job {
+	return append([]*job.Job(nil), m.running...)
+}
+
+// RunningSnapshot exposes the internal running slice without copying. It
+// is valid only until the next Start/Finish/Release and must not be
+// mutated; the scheduler's per-pass profile construction uses it to stay
+// allocation-free.
+func (m *Machine) RunningSnapshot() []*job.Job { return m.running }
+
+// removeRunning swap-removes the job at index i.
+func (m *Machine) removeRunning(i int) {
+	last := len(m.running) - 1
+	moved := m.running[last]
+	m.running[i] = moved
+	m.runningIdx[moved.ID] = i
+	m.running = m.running[:last]
+}
+
+// advance accrues busy CPU-seconds up to now.
+func (m *Machine) advance(now sim.Time) {
+	if now < m.lastUpdate {
+		panic(fmt.Sprintf("machine: time went backwards %d -> %d", m.lastUpdate, now))
+	}
+	dt := float64(now - m.lastUpdate)
+	m.nativeCPUSec += dt * float64(m.busyNativeCPUs)
+	m.interstCPUSec += dt * float64(m.busyInterstCPUs)
+	m.lastUpdate = now
+}
+
+// CanStart reports whether a job needing cpus processors fits right now.
+func (m *Machine) CanStart(cpus int) bool { return cpus <= m.free }
+
+// Start allocates CPUs to j at time now and marks it running. It panics if
+// the job does not fit or is not in a startable state, since both indicate
+// scheduler bugs.
+func (m *Machine) Start(now sim.Time, j *job.Job) {
+	if j.CPUs > m.free {
+		panic(fmt.Sprintf("machine %s: start job %d needing %d CPUs with %d free", m.cfg.Name, j.ID, j.CPUs, m.free))
+	}
+	if j.State == job.Running || j.State == job.Finished {
+		panic(fmt.Sprintf("machine: job %d started twice (state %v)", j.ID, j.State))
+	}
+	m.advance(now)
+	m.free -= j.CPUs
+	if j.Class == job.Interstitial {
+		m.busyInterstCPUs += j.CPUs
+	} else {
+		m.busyNativeCPUs += j.CPUs
+	}
+	if b := m.Busy(); b > m.peakBusy {
+		m.peakBusy = b
+	}
+	j.Start = now
+	j.State = job.Running
+	m.runningIdx[j.ID] = len(m.running)
+	m.running = append(m.running, j)
+	m.startedJobs++
+}
+
+// Finish releases j's CPUs at time now and marks it finished.
+func (m *Machine) Finish(now sim.Time, j *job.Job) {
+	i, ok := m.runningIdx[j.ID]
+	if !ok {
+		panic(fmt.Sprintf("machine: finishing job %d that is not running", j.ID))
+	}
+	m.advance(now)
+	m.free += j.CPUs
+	if j.Class == job.Interstitial {
+		m.busyInterstCPUs -= j.CPUs
+	} else {
+		m.busyNativeCPUs -= j.CPUs
+	}
+	delete(m.runningIdx, j.ID)
+	m.removeRunning(i)
+	j.Finish = now
+	j.State = job.Finished
+	m.finishedJobs++
+}
+
+// Release aborts a running job at time now: its CPUs are freed and it
+// leaves the running set, but it is not counted as finished. The job is
+// marked Killed with no Finish time; the busy integral keeps the work it
+// did up to now.
+func (m *Machine) Release(now sim.Time, j *job.Job) {
+	i, ok := m.runningIdx[j.ID]
+	if !ok {
+		panic(fmt.Sprintf("machine: releasing job %d that is not running", j.ID))
+	}
+	m.advance(now)
+	m.free += j.CPUs
+	if j.Class == job.Interstitial {
+		m.busyInterstCPUs -= j.CPUs
+	} else {
+		m.busyNativeCPUs -= j.CPUs
+	}
+	delete(m.runningIdx, j.ID)
+	m.removeRunning(i)
+	j.State = job.Killed
+}
+
+// Utilization reports (overall, native-only) utilization over [0, now].
+// At now == 0 both are 0.
+func (m *Machine) Utilization(now sim.Time) (overall, native float64) {
+	if now <= 0 {
+		return 0, 0
+	}
+	// Accrue a snapshot without mutating state twice: advance is
+	// idempotent for equal timestamps.
+	m.advance(now)
+	denom := float64(now) * float64(m.cfg.CPUs)
+	return (m.nativeCPUSec + m.interstCPUSec) / denom, m.nativeCPUSec / denom
+}
+
+// CPUSeconds reports the accumulated (native, interstitial) CPU-second
+// integrals up to the last state change or Utilization call.
+func (m *Machine) CPUSeconds() (native, interstitial float64) {
+	return m.nativeCPUSec, m.interstCPUSec
+}
+
+// Counts reports (started, finished) job counts.
+func (m *Machine) Counts() (started, finished int) { return m.startedJobs, m.finishedJobs }
+
+// CheckInvariants verifies the allocation ledger is self-consistent.
+func (m *Machine) CheckInvariants() error {
+	sum := 0
+	for _, j := range m.running {
+		if j.State != job.Running {
+			return fmt.Errorf("machine %s: job %d in running set with state %v", m.cfg.Name, j.ID, j.State)
+		}
+		sum += j.CPUs
+	}
+	if sum != m.Busy() {
+		return fmt.Errorf("machine %s: running jobs hold %d CPUs but busy=%d", m.cfg.Name, sum, m.Busy())
+	}
+	if m.free < 0 || m.free > m.cfg.CPUs {
+		return fmt.Errorf("machine %s: free=%d out of range", m.cfg.Name, m.free)
+	}
+	if m.busyNativeCPUs+m.busyInterstCPUs != m.Busy() {
+		return fmt.Errorf("machine %s: class split %d+%d != busy %d", m.cfg.Name, m.busyNativeCPUs, m.busyInterstCPUs, m.Busy())
+	}
+	return nil
+}

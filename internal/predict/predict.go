@@ -1,0 +1,185 @@
+// Package predict implements online runtime prediction from job history —
+// the remedy the paper points at for gross user estimates ("Usage
+// prediction algorithms such as the Network Weather Service may be able
+// to provide better estimates"). Predictors observe completed jobs and
+// produce replacement estimates for newly submitted ones; a policy
+// wrapper drops them into any existing queueing system.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"interstitial/internal/job"
+	"interstitial/internal/sched"
+	"interstitial/internal/sim"
+)
+
+// Predictor produces runtime estimates from observed history.
+type Predictor interface {
+	// Name labels the predictor in reports.
+	Name() string
+	// Observe records a completed job's actual runtime.
+	Observe(j *job.Job)
+	// Predict returns a runtime estimate for a newly submitted job, or
+	// the job's own user estimate when it has no basis to improve it.
+	Predict(j *job.Job) sim.Time
+}
+
+// Smoothed is an exponentially smoothed per-user predictor in log space
+// (runtimes are multiplicative), NWS-flavored: estimate = smoothed mean
+// times a safety margin, clamped to the user estimate from above (never
+// predict longer than the user asked for — the queue would just use the
+// user limit) and to a floor from below.
+type Smoothed struct {
+	// Alpha is the smoothing weight for new observations in (0,1].
+	Alpha float64
+	// Margin multiplies the smoothed runtime to under-run less often.
+	Margin float64
+	// Floor is the minimum estimate ever produced.
+	Floor sim.Time
+
+	logMean map[string]float64
+	seen    map[string]int
+}
+
+// NewSmoothed returns a predictor with typical settings: alpha 0.3,
+// 2x margin, 5-minute floor.
+func NewSmoothed() *Smoothed {
+	return &Smoothed{Alpha: 0.3, Margin: 2, Floor: 300}
+}
+
+// Name implements Predictor.
+func (s *Smoothed) Name() string { return "smoothed" }
+
+// key buckets history by user; size is folded in coarsely (log2 bucket)
+// because a user's 1-CPU test jobs and 512-CPU production runs differ.
+func key(j *job.Job) string {
+	b := 0
+	for c := j.CPUs; c > 1; c /= 2 {
+		b++
+	}
+	return fmt.Sprintf("%s/%d", j.User, b)
+}
+
+// Observe implements Predictor.
+func (s *Smoothed) Observe(j *job.Job) {
+	if s.logMean == nil {
+		s.logMean = make(map[string]float64)
+		s.seen = make(map[string]int)
+	}
+	rt := float64(j.Runtime)
+	if rt < 1 {
+		rt = 1
+	}
+	k := key(j)
+	l := math.Log(rt)
+	if s.seen[k] == 0 {
+		s.logMean[k] = l
+	} else {
+		s.logMean[k] = s.Alpha*l + (1-s.Alpha)*s.logMean[k]
+	}
+	s.seen[k]++
+}
+
+// Predict implements Predictor.
+func (s *Smoothed) Predict(j *job.Job) sim.Time {
+	k := key(j)
+	if s.seen == nil || s.seen[k] < 3 {
+		return j.Estimate // not enough history; trust the user
+	}
+	est := sim.Time(math.Exp(s.logMean[k]) * s.Margin)
+	if est < s.Floor {
+		est = s.Floor
+	}
+	if est > j.Estimate && j.Estimate > 0 {
+		est = j.Estimate
+	}
+	return est
+}
+
+// Perfect returns the job's actual runtime: the oracle upper bound on what
+// any predictor can achieve.
+type Perfect struct{}
+
+// Name implements Predictor.
+func (Perfect) Name() string { return "perfect" }
+
+// Observe implements Predictor.
+func (Perfect) Observe(*job.Job) {}
+
+// Predict implements Predictor.
+func (Perfect) Predict(j *job.Job) sim.Time { return j.Runtime }
+
+// UserEstimate passes the user's estimate through unchanged: the paper's
+// status quo, useful as the experiment baseline.
+type UserEstimate struct{}
+
+// Name implements Predictor.
+func (UserEstimate) Name() string { return "user" }
+
+// Observe implements Predictor.
+func (UserEstimate) Observe(*job.Job) {}
+
+// Predict implements Predictor.
+func (UserEstimate) Predict(j *job.Job) sim.Time { return j.Estimate }
+
+// policy wraps a queueing policy so that every native job's estimate is
+// replaced by the predictor's output the first time the scheduler sees
+// it, and every completion feeds the predictor. Interstitial jobs pass
+// through untouched (their runtimes are exact already).
+type policy struct {
+	sched.Policy
+	p         Predictor
+	rewritten map[int]bool
+}
+
+// Wrap layers predictor-driven estimates over any scheduling policy.
+func Wrap(inner sched.Policy, p Predictor) sched.Policy {
+	return &policy{Policy: inner, p: p, rewritten: make(map[int]bool)}
+}
+
+// Prioritize rewrites the estimate on first contact, then defers.
+func (w *policy) Prioritize(now sim.Time, j *job.Job) {
+	if j.Class == job.Native && !w.rewritten[j.ID] {
+		w.rewritten[j.ID] = true
+		if est := w.p.Predict(j); est > 0 {
+			j.Estimate = est
+		}
+	}
+	w.Policy.Prioritize(now, j)
+}
+
+// OnFinish feeds the predictor, then defers.
+func (w *policy) OnFinish(now sim.Time, j *job.Job) {
+	if j.Class == job.Native {
+		w.p.Observe(j)
+	}
+	w.Policy.OnFinish(now, j)
+}
+
+// Accuracy summarizes a predictor's error over a finished log: the
+// geometric mean of estimate/actual (1.0 is perfect, the paper's user
+// estimates run ~7x) and the fraction of underpredictions.
+func Accuracy(jobs []*job.Job) (geoOverestimate float64, underFrac float64) {
+	var logSum float64
+	var n, under int
+	for _, j := range jobs {
+		if j.Class != job.Native || j.State != job.Finished || j.Runtime < 1 {
+			continue
+		}
+		r := float64(j.Estimate) / float64(j.Runtime)
+		if r <= 0 {
+			continue
+		}
+		logSum += math.Log(r)
+		if j.Estimate < j.Runtime {
+			under++
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return math.Exp(logSum / float64(n)), float64(under) / float64(n)
+}

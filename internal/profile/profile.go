@@ -1,0 +1,265 @@
+// Package profile implements a stepwise free-CPU timeline ("capacity
+// profile"). It answers the planning questions every backfill scheduler and
+// the interstitial controller ask:
+//
+//   - when is the earliest instant a w-CPU, d-second job fits? (EarliestFit)
+//   - how many CPUs are free over an interval? (MinFree)
+//   - commit a planned allocation (Reserve)
+//
+// The profile is a piecewise-constant function of time. It is built either
+// from the estimated ends of the currently running jobs (the scheduler's
+// fallible world view) or from a recorded baseline run (the omniscient
+// world view of the paper's Section 4.1).
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"interstitial/internal/job"
+	"interstitial/internal/sim"
+)
+
+// Profile is a stepwise function mapping time to free CPUs. The last
+// segment extends to infinity.
+type Profile struct {
+	// times[i] is the start of segment i; times[0] is the profile origin.
+	times []sim.Time
+	// free[i] is the free CPU count on [times[i], times[i+1]).
+	free []int
+}
+
+// FromSteps builds a profile directly from parallel breakpoint/capacity
+// slices. Breakpoints must be strictly increasing and capacities
+// non-negative; the slices are copied.
+func FromSteps(times []sim.Time, free []int) *Profile {
+	p := &Profile{times: append([]sim.Time(nil), times...), free: append([]int(nil), free...)}
+	if err := p.CheckInvariants(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewConstant returns a profile with a constant capacity from time `from`
+// onward.
+func NewConstant(from sim.Time, capacity int) *Profile {
+	if capacity < 0 {
+		panic("profile: negative capacity")
+	}
+	return &Profile{times: []sim.Time{from}, free: []int{capacity}}
+}
+
+// FromRunning builds the free-CPU profile seen by a scheduler at time now:
+// it starts at the machine's current free count and gains back each running
+// job's CPUs at that job's estimated end. This is exactly the (fallible)
+// information a real scheduler has, because users' estimates stand in for
+// true runtimes.
+func FromRunning(now sim.Time, totalCPUs int, running []*job.Job) *Profile {
+	type release struct {
+		at   sim.Time
+		cpus int
+	}
+	rel := make([]release, 0, len(running))
+	used := 0
+	for _, j := range running {
+		used += j.CPUs
+		rel = append(rel, release{at: j.EstimatedEnd(), cpus: j.CPUs})
+	}
+	sort.Slice(rel, func(i, k int) bool { return rel[i].at < rel[k].at })
+	p := &Profile{times: []sim.Time{now}, free: []int{totalCPUs - used}}
+	cur := totalCPUs - used
+	for _, r := range rel {
+		cur += r.cpus
+		n := len(p.times)
+		if p.times[n-1] == r.at {
+			p.free[n-1] = cur
+		} else {
+			p.times = append(p.times, r.at)
+			p.free = append(p.free, cur)
+		}
+	}
+	return p
+}
+
+// Clone returns an independent copy.
+func (p *Profile) Clone() *Profile {
+	q := &Profile{times: make([]sim.Time, len(p.times)), free: make([]int, len(p.free))}
+	copy(q.times, p.times)
+	copy(q.free, p.free)
+	return q
+}
+
+// Origin reports the profile's start time.
+func (p *Profile) Origin() sim.Time { return p.times[0] }
+
+// Segments reports the number of piecewise-constant segments.
+func (p *Profile) Segments() int { return len(p.times) }
+
+// segIndex returns the index of the segment containing t, clamping to the
+// first segment for t before the origin.
+func (p *Profile) segIndex(t sim.Time) int {
+	// Find the last i with times[i] <= t.
+	i := sort.Search(len(p.times), func(k int) bool { return p.times[k] > t }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// FreeAt reports the free CPUs at time t.
+func (p *Profile) FreeAt(t sim.Time) int { return p.free[p.segIndex(t)] }
+
+// MinFree reports the minimum free CPUs over [from, to). An empty or
+// inverted interval reports the capacity at from.
+func (p *Profile) MinFree(from, to sim.Time) int {
+	i := p.segIndex(from)
+	min := p.free[i]
+	for k := i + 1; k < len(p.times) && p.times[k] < to; k++ {
+		if p.free[k] < min {
+			min = p.free[k]
+		}
+	}
+	return min
+}
+
+// EarliestFit reports the earliest time >= after at which cpus processors
+// are continuously free for duration seconds. A duration <= 0 asks for a
+// start instant only. The second return is false when no fit exists even at
+// the profile's final (infinite) segment.
+func (p *Profile) EarliestFit(after sim.Time, cpus int, duration sim.Time) (sim.Time, bool) {
+	if duration < 0 {
+		duration = 0
+	}
+	start := after
+	if start < p.times[0] {
+		start = p.times[0]
+	}
+	i := p.segIndex(start)
+	for i < len(p.times) {
+		if p.free[i] < cpus {
+			i++
+			if i < len(p.times) && p.times[i] > start {
+				start = p.times[i]
+			}
+			continue
+		}
+		// Candidate start. Check the window [start, start+duration).
+		ok := true
+		end := start + duration
+		for k := i + 1; k < len(p.times) && p.times[k] < end; k++ {
+			if p.free[k] < cpus {
+				// Blocked: restart the search at the segment after the block.
+				start = p.times[k]
+				i = k
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return start, true
+		}
+		// The inner loop repositioned (start, i) at the blocking segment;
+		// continue the outer loop which will skip past it.
+	}
+	// Only reachable if the final segment has free < cpus.
+	return 0, false
+}
+
+// Reserve subtracts cpus processors over [from, from+duration). It panics
+// if the reservation would drive any segment negative, because callers must
+// check EarliestFit/MinFree first.
+func (p *Profile) Reserve(from sim.Time, cpus int, duration sim.Time) {
+	if duration <= 0 || cpus == 0 {
+		return
+	}
+	p.split(from)
+	p.split(from + duration)
+	for i := range p.times {
+		if p.times[i] >= from && p.times[i] < from+duration {
+			p.free[i] -= cpus
+			if p.free[i] < 0 {
+				panic(fmt.Sprintf("profile: reservation of %d CPUs at [%d,%d) drives segment %d negative", cpus, from, from+duration, i))
+			}
+		}
+	}
+}
+
+// Release adds cpus processors over [from, from+duration); the inverse of
+// Reserve, used when a plan is torn down.
+func (p *Profile) Release(from sim.Time, cpus int, duration sim.Time) {
+	if duration <= 0 || cpus == 0 {
+		return
+	}
+	p.split(from)
+	p.split(from + duration)
+	for i := range p.times {
+		if p.times[i] >= from && p.times[i] < from+duration {
+			p.free[i] += cpus
+		}
+	}
+}
+
+// split ensures a breakpoint exists at t (within the profile's horizon).
+func (p *Profile) split(t sim.Time) {
+	if t <= p.times[0] {
+		return
+	}
+	i := p.segIndex(t)
+	if p.times[i] == t {
+		return
+	}
+	// Insert after i with the same free value.
+	p.times = append(p.times, 0)
+	p.free = append(p.free, 0)
+	copy(p.times[i+2:], p.times[i+1:])
+	copy(p.free[i+2:], p.free[i+1:])
+	p.times[i+1] = t
+	p.free[i+1] = p.free[i]
+}
+
+// Compact merges adjacent segments with equal capacity; useful after many
+// reserve/release cycles.
+func (p *Profile) Compact() {
+	out := 0
+	for i := 0; i < len(p.times); i++ {
+		if out > 0 && p.free[out-1] == p.free[i] {
+			continue
+		}
+		p.times[out] = p.times[i]
+		p.free[out] = p.free[i]
+		out++
+	}
+	p.times = p.times[:out]
+	p.free = p.free[:out]
+}
+
+// CheckInvariants verifies breakpoints are strictly increasing and no
+// segment is negative.
+func (p *Profile) CheckInvariants() error {
+	if len(p.times) == 0 || len(p.times) != len(p.free) {
+		return fmt.Errorf("profile: malformed storage (%d times, %d free)", len(p.times), len(p.free))
+	}
+	for i := 1; i < len(p.times); i++ {
+		if p.times[i] <= p.times[i-1] {
+			return fmt.Errorf("profile: breakpoints not increasing at %d (%d <= %d)", i, p.times[i], p.times[i-1])
+		}
+	}
+	for i, f := range p.free {
+		if f < 0 {
+			return fmt.Errorf("profile: segment %d has %d free CPUs", i, f)
+		}
+	}
+	return nil
+}
+
+// String renders the step function for debugging.
+func (p *Profile) String() string {
+	s := "profile{"
+	for i := range p.times {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%d", p.times[i], p.free[i])
+	}
+	return s + "}"
+}

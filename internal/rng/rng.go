@@ -1,0 +1,102 @@
+// Package rng centralizes the random distributions used by the synthetic
+// workload generator. Everything is driven by an explicit *rand.Rand so
+// simulations are reproducible from a single seed.
+package rng
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// New returns a rand.Rand seeded deterministically.
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// LogNormal draws from a lognormal distribution with the given median and
+// sigma (the standard deviation of the underlying normal). The mean of the
+// distribution is median * exp(sigma^2/2).
+func LogNormal(r *rand.Rand, median, sigma float64) float64 {
+	return median * math.Exp(sigma*r.NormFloat64())
+}
+
+// LogNormalSigmaForMean solves for the sigma that gives a lognormal with
+// the requested median and mean (mean must exceed median).
+func LogNormalSigmaForMean(median, mean float64) float64 {
+	if mean <= median {
+		return 0
+	}
+	return math.Sqrt(2 * math.Log(mean/median))
+}
+
+// BoundedPareto draws from a Pareto distribution with shape alpha truncated
+// to [lo, hi]. Heavy-tailed for small alpha; used for job-size fat tails.
+func BoundedPareto(r *rand.Rand, alpha, lo, hi float64) float64 {
+	if lo >= hi {
+		return lo
+	}
+	u := r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Exponential draws an exponential with the given mean.
+func Exponential(r *rand.Rand, mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Weighted selects an index from weights proportionally. It panics on an
+// empty or all-zero weight vector.
+func Weighted(r *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: no positive weights")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Discrete is a reusable weighted sampler over arbitrary float64 values.
+type Discrete struct {
+	values []float64
+	cum    []float64
+}
+
+// NewDiscrete builds a sampler; weights need not be normalized.
+func NewDiscrete(values, weights []float64) *Discrete {
+	if len(values) != len(weights) || len(values) == 0 {
+		panic("rng: values/weights mismatch")
+	}
+	d := &Discrete{values: append([]float64(nil), values...), cum: make([]float64, len(weights))}
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight")
+		}
+		sum += w
+		d.cum[i] = sum
+	}
+	if sum <= 0 {
+		panic("rng: zero total weight")
+	}
+	return d
+}
+
+// Sample draws one value.
+func (d *Discrete) Sample(r *rand.Rand) float64 {
+	x := r.Float64() * d.cum[len(d.cum)-1]
+	i := sort.SearchFloat64s(d.cum, x)
+	if i >= len(d.values) {
+		i = len(d.values) - 1
+	}
+	return d.values[i]
+}

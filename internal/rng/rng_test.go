@@ -1,0 +1,168 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogNormalMedianAndMean(t *testing.T) {
+	r := New(1)
+	const median, mean = 0.8, 2.5 // the paper's native runtime hours
+	sigma := LogNormalSigmaForMean(median, mean)
+	n := 200000
+	xs := make([]float64, n)
+	sum := 0.0
+	for i := range xs {
+		xs[i] = LogNormal(r, median, sigma)
+		sum += xs[i]
+	}
+	// Empirical median ~ configured median.
+	below := 0
+	for _, x := range xs {
+		if x < median {
+			below++
+		}
+	}
+	if frac := float64(below) / float64(n); math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("median check: %.3f of samples below median, want ~0.5", frac)
+	}
+	if got := sum / float64(n); math.Abs(got-mean)/mean > 0.05 {
+		t.Fatalf("mean = %.3f, want ~%.1f", got, mean)
+	}
+}
+
+func TestLogNormalSigmaDegenerate(t *testing.T) {
+	if LogNormalSigmaForMean(2, 1) != 0 {
+		t.Fatal("mean <= median should give sigma 0")
+	}
+	r := New(2)
+	if got := LogNormal(r, 5, 0); got != 5 {
+		t.Fatalf("sigma=0 lognormal = %v, want exactly the median", got)
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		x := BoundedPareto(r, 1.1, 1, 512)
+		if x < 1 || x > 512 {
+			t.Fatalf("sample %v out of [1,512]", x)
+		}
+	}
+	if got := BoundedPareto(r, 1.0, 7, 7); got != 7 {
+		t.Fatalf("degenerate bounds = %v, want 7", got)
+	}
+}
+
+func TestBoundedParetoHeavyTail(t *testing.T) {
+	r := New(4)
+	big := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if BoundedPareto(r, 0.9, 1, 1024) > 256 {
+			big++
+		}
+	}
+	// A heavy tail must place noticeable mass far above the minimum.
+	if big == 0 {
+		t.Fatal("no samples in the tail; distribution not heavy-tailed")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += Exponential(r, 42)
+	}
+	if got := sum / float64(n); math.Abs(got-42)/42 > 0.03 {
+		t.Fatalf("exponential mean = %.2f, want ~42", got)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	r := New(6)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[Weighted(r, []float64{1, 2, 7})]++
+	}
+	if !(counts[2] > counts[1] && counts[1] > counts[0]) {
+		t.Fatalf("weighted counts not ordered: %v", counts)
+	}
+	if frac := float64(counts[2]) / 30000; math.Abs(frac-0.7) > 0.02 {
+		t.Fatalf("heavy weight frac = %.3f, want ~0.7", frac)
+	}
+}
+
+func TestWeightedPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("all-zero weights did not panic")
+		}
+	}()
+	Weighted(New(1), []float64{0, 0})
+}
+
+func TestDiscrete(t *testing.T) {
+	d := NewDiscrete([]float64{10, 20, 30}, []float64{0, 0, 1})
+	r := New(7)
+	for i := 0; i < 100; i++ {
+		if got := d.Sample(r); got != 30 {
+			t.Fatalf("sample = %v, want 30", got)
+		}
+	}
+}
+
+func TestDiscretePanics(t *testing.T) {
+	for _, c := range []struct {
+		v, w []float64
+	}{
+		{nil, nil},
+		{[]float64{1}, []float64{1, 2}},
+		{[]float64{1}, []float64{-1}},
+		{[]float64{1}, []float64{0}},
+	} {
+		func() {
+			defer func() { recover() }()
+			NewDiscrete(c.v, c.w)
+			t.Fatalf("NewDiscrete(%v,%v) did not panic", c.v, c.w)
+		}()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(99), New(99)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+// Property: weighted selection always returns a valid index with positive
+// weight.
+func TestQuickWeightedValid(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ws := make([]float64, len(raw))
+		any := false
+		for i, b := range raw {
+			ws[i] = float64(b)
+			if b > 0 {
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		i := Weighted(New(seed), ws)
+		return i >= 0 && i < len(ws) && ws[i] > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

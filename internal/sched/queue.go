@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"sort"
+
+	"interstitial/internal/job"
+)
+
+// Queue holds waiting jobs in dispatch order. Order is (priority
+// descending, submit time ascending, ID ascending); Sort must be called
+// after priorities change.
+type Queue struct {
+	jobs []*job.Job
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Len reports the number of queued jobs.
+func (q *Queue) Len() int { return len(q.jobs) }
+
+// Push appends j to the queue and marks it Queued.
+func (q *Queue) Push(j *job.Job) {
+	j.State = job.Queued
+	q.jobs = append(q.jobs, j)
+}
+
+// Head returns the highest-priority job, or nil when empty.
+func (q *Queue) Head() *job.Job {
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	return q.jobs[0]
+}
+
+// At returns the i-th job in dispatch order.
+func (q *Queue) At(i int) *job.Job { return q.jobs[i] }
+
+// Remove deletes the job at index i, preserving order.
+func (q *Queue) Remove(i int) *job.Job {
+	j := q.jobs[i]
+	q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+	return j
+}
+
+// Jobs exposes the backing slice in dispatch order; callers must not
+// mutate it.
+func (q *Queue) Jobs() []*job.Job { return q.jobs }
+
+// Sort orders the queue by (priority desc, submit asc, ID asc). The sort
+// is stable on the explicit key triple, so results are deterministic.
+func (q *Queue) Sort() {
+	sort.SliceStable(q.jobs, func(a, b int) bool {
+		ja, jb := q.jobs[a], q.jobs[b]
+		if ja.Priority != jb.Priority {
+			return ja.Priority > jb.Priority
+		}
+		if ja.Submit != jb.Submit {
+			return ja.Submit < jb.Submit
+		}
+		return ja.ID < jb.ID
+	})
+}

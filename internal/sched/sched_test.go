@@ -1,0 +1,457 @@
+package sched
+
+import (
+	"testing"
+
+	"interstitial/internal/job"
+	"interstitial/internal/machine"
+	"interstitial/internal/sim"
+)
+
+func mkMachine(cpus int) *machine.Machine {
+	return machine.New(machine.Config{Name: "test", CPUs: cpus, ClockGHz: 1})
+}
+
+func TestQueueSortOrder(t *testing.T) {
+	q := NewQueue()
+	a := job.New(1, "u", "g", 1, 10, 10, 100)
+	b := job.New(2, "u", "g", 1, 10, 10, 50)
+	c := job.New(3, "u", "g", 1, 10, 10, 50)
+	d := job.New(4, "u", "g", 1, 10, 10, 200)
+	d.Priority = 5 // outranks everything
+	for _, j := range []*job.Job{a, b, c, d} {
+		q.Push(j)
+	}
+	q.Sort()
+	want := []int{4, 2, 3, 1} // priority, then submit, then ID
+	for i, id := range want {
+		if q.At(i).ID != id {
+			t.Fatalf("order[%d] = %d, want %d", i, q.At(i).ID, id)
+		}
+	}
+}
+
+func TestQueuePushMarksQueued(t *testing.T) {
+	q := NewQueue()
+	j := job.New(1, "u", "g", 1, 10, 10, 0)
+	q.Push(j)
+	if j.State != job.Queued {
+		t.Fatalf("state = %v, want queued", j.State)
+	}
+	if q.Head() != j {
+		t.Fatal("head mismatch")
+	}
+	if q.Remove(0) != j || q.Len() != 0 || q.Head() != nil {
+		t.Fatal("remove broken")
+	}
+}
+
+func TestFCFSBlocksOnHead(t *testing.T) {
+	d := NewDispatcher(NewFCFS())
+	m := mkMachine(10)
+	q := NewQueue()
+	blocker := job.New(1, "u", "g", 8, 100, 100, 0)
+	m.Start(0, blocker) // 2 CPUs free
+	big := job.New(2, "u", "g", 5, 10, 10, 0)
+	small := job.New(3, "u", "g", 1, 10, 10, 0)
+	q.Push(big)
+	q.Push(small)
+	res := d.Schedule(0, m, q)
+	if len(res.Started) != 0 {
+		t.Fatalf("FCFS started %d jobs behind a blocked head", len(res.Started))
+	}
+	if res.HeadReservation != 100 {
+		t.Fatalf("head reservation = %d, want 100", res.HeadReservation)
+	}
+}
+
+func TestEASYBackfillsShortJob(t *testing.T) {
+	d := NewDispatcher(NewLSF())
+	m := mkMachine(10)
+	q := NewQueue()
+	blocker := job.New(1, "u", "g", 8, 100, 100, 0)
+	m.Start(0, blocker) // 2 free until t=100
+	head := job.New(2, "u", "g", 5, 10, 10, 0)
+	short := job.New(3, "u", "g", 2, 50, 50, 0)  // fits the 2 free, ends at 50 < 100
+	long := job.New(4, "u", "g", 2, 500, 500, 0) // would delay head
+	q.Push(head)
+	q.Push(short)
+	q.Push(long)
+	res := d.Schedule(0, m, q)
+	if len(res.Started) != 1 || res.Started[0].ID != 3 {
+		t.Fatalf("EASY started %v, want only job 3", ids(res.Started))
+	}
+	if res.HeadReservation != 100 {
+		t.Fatalf("shadow time = %d, want 100", res.HeadReservation)
+	}
+	// The long job stays queued: starting it would hold 2 CPUs past
+	// t=100, leaving only 8 for the 5-CPU head... actually 8 >= 5.
+	// The real reason it must wait: after the backfill of job 3, 0 CPUs
+	// are free now.
+	if q.Len() != 2 {
+		t.Fatalf("queue len = %d, want 2", q.Len())
+	}
+}
+
+func TestEASYBackfillRespectsHeadReservation(t *testing.T) {
+	d := NewDispatcher(NewLSF())
+	m := mkMachine(10)
+	q := NewQueue()
+	blocker := job.New(1, "u", "g", 5, 100, 100, 0)
+	m.Start(0, blocker)                         // 5 free until 100
+	head := job.New(2, "u", "g", 10, 10, 10, 0) // needs the whole machine at t=100
+	cand := job.New(3, "u", "g", 5, 200, 200, 0)
+	q.Push(head)
+	q.Push(cand)
+	res := d.Schedule(0, m, q)
+	// cand fits now (5 free) but would run past t=100, delaying the
+	// 10-CPU head: EASY must reject it.
+	if len(res.Started) != 0 {
+		t.Fatalf("EASY delayed the head by starting %v", ids(res.Started))
+	}
+	// A candidate ending exactly at the shadow time is fine.
+	cand2 := job.New(4, "u", "g", 5, 100, 100, 0)
+	q.Push(cand2)
+	res = d.Schedule(0, m, q)
+	if len(res.Started) != 1 || res.Started[0].ID != 4 {
+		t.Fatalf("EASY rejected a harmless backfill, started %v", ids(res.Started))
+	}
+}
+
+func TestEASYDrainsHeadWhenFits(t *testing.T) {
+	d := NewDispatcher(NewLSF())
+	m := mkMachine(10)
+	q := NewQueue()
+	for i := 1; i <= 3; i++ {
+		q.Push(job.New(i, "u", "g", 3, 10, 10, 0))
+	}
+	res := d.Schedule(0, m, q)
+	if len(res.Started) != 3 {
+		t.Fatalf("started %d, want 3", len(res.Started))
+	}
+	if res.HeadReservation != sim.Infinity {
+		t.Fatal("drained queue should report Infinity reservation")
+	}
+	if m.Free() != 1 {
+		t.Fatalf("free = %d, want 1", m.Free())
+	}
+}
+
+func TestConservativeProtectsAllReservations(t *testing.T) {
+	d := NewDispatcher(NewPBS())
+	m := mkMachine(10)
+	q := NewQueue()
+	blocker := job.New(1, "u", "g", 8, 100, 100, 0)
+	m.Start(0, blocker)                             // 2 free until 100
+	first := job.New(2, "u", "g", 5, 50, 50, 10)    // reserved at 100
+	second := job.New(3, "u", "g", 5, 500, 500, 20) // reserved at 100 too (5+5=10 fits)
+	third := job.New(4, "u", "g", 2, 40, 40, 30)    // fits now, ends at 40 <= 100: ok
+	fourth := job.New(5, "u", "g", 2, 90, 90, 40)   // now+90 <= 100 fits with third gone... only 0 free after third
+	q.Push(first)
+	q.Push(second)
+	q.Push(third)
+	q.Push(fourth)
+	res := d.Schedule(0, m, q)
+	if len(res.Started) != 1 || res.Started[0].ID != 4 {
+		t.Fatalf("conservative started %v, want only job 4", ids(res.Started))
+	}
+	if res.HeadReservation != 100 {
+		t.Fatalf("head reservation = %d, want 100", res.HeadReservation)
+	}
+}
+
+func TestConservativeDoesNotDelayLowerReservations(t *testing.T) {
+	d := NewDispatcher(NewPBS())
+	m := mkMachine(10)
+	q := NewQueue()
+	blocker := job.New(1, "u", "g", 6, 100, 100, 0)
+	m.Start(0, blocker)                           // 4 free until 100
+	head := job.New(2, "u", "g", 6, 100, 100, 10) // reserved [100,200)
+	second := job.New(3, "u", "g", 8, 50, 50, 20) // reserved [200,250)
+	cand := job.New(4, "u", "g", 4, 210, 210, 30) // fits now; overlaps second's reservation
+	q.Push(head)
+	q.Push(second)
+	q.Push(cand)
+	res := d.Schedule(0, m, q)
+	// cand does not delay the head (4 CPUs stay free through [0,200))
+	// so EASY would start it — but it would rob second's [200,250)
+	// reservation of 2 CPUs, so conservative must refuse.
+	if len(res.Started) != 0 {
+		t.Fatalf("conservative started %v, want none (delays reservations)", ids(res.Started))
+	}
+	if res.HeadReservation != 100 {
+		t.Fatalf("head reservation = %d, want 100", res.HeadReservation)
+	}
+
+	// Sanity-check the contrast: EASY in the same scenario does start cand.
+	de := NewDispatcher(NewLSF())
+	me := mkMachine(10)
+	qe := NewQueue()
+	be := job.New(1, "u", "g", 6, 100, 100, 0)
+	me.Start(0, be)
+	qe.Push(job.New(2, "u", "g", 6, 100, 100, 10))
+	qe.Push(job.New(3, "u", "g", 8, 50, 50, 20))
+	ce := job.New(4, "u", "g", 4, 210, 210, 30)
+	qe.Push(ce)
+	rese := de.Schedule(0, me, qe)
+	if len(rese.Started) != 1 || rese.Started[0].ID != 4 {
+		t.Fatalf("EASY contrast started %v, want job 4", ids(rese.Started))
+	}
+}
+
+func TestDPCSGateWindows(t *testing.T) {
+	g := DefaultDPCSGate()
+	// 02:00 is inside the wrapped night window; noon is not.
+	if !g.allowedAt(2 * 3600) {
+		t.Fatal("02:00 should be allowed")
+	}
+	if g.allowedAt(12 * 3600) {
+		t.Fatal("noon should be blocked")
+	}
+	if !g.allowedAt(19 * 3600) {
+		t.Fatal("19:00 should be allowed")
+	}
+	if got := g.nextAllowed(12 * 3600); got != 18*3600 {
+		t.Fatalf("nextAllowed(noon) = %d, want 18:00", got)
+	}
+	if got := g.nextAllowed(2 * 3600); got != 2*3600 {
+		t.Fatalf("nextAllowed inside window moved: %d", got)
+	}
+	// Day boundaries: 06:00 exactly is blocked (end-exclusive).
+	if g.allowedAt(6 * 3600) {
+		t.Fatal("06:00 should be blocked")
+	}
+}
+
+func TestDPCSGatesBigJobsOnly(t *testing.T) {
+	pol := NewDPCS(DefaultDPCSGate())
+	small := job.New(1, "u", "g", 4, 100, 100, 0)
+	big := job.New(2, "u", "g", 512, 100, 100, 0)
+	long := job.New(3, "u", "g", 4, 100, 25*3600, 0)
+	noon := sim.Time(12 * 3600)
+	if pol.EarliestAllowed(noon, small) != noon {
+		t.Fatal("small job gated")
+	}
+	if pol.EarliestAllowed(noon, big) != 18*3600 {
+		t.Fatal("big job not deferred to night")
+	}
+	if pol.EarliestAllowed(noon, long) != 18*3600 {
+		t.Fatal("long job not deferred to night")
+	}
+	// Interstitial jobs are never gated.
+	ij := job.NewInterstitial(4, 512, 100, 0)
+	if pol.EarliestAllowed(noon, ij) != noon {
+		t.Fatal("interstitial job gated")
+	}
+}
+
+func TestDPCSScheduleDefersBigJob(t *testing.T) {
+	d := NewDispatcher(NewDPCS(DPCSGate{BigCPUs: 8, LongEstimate: 0, NightStart: 18 * 3600, NightEnd: 6 * 3600}))
+	m := mkMachine(16)
+	q := NewQueue()
+	big := job.New(1, "u", "g", 8, 100, 100, 0)
+	q.Push(big)
+	res := d.Schedule(12*3600, m, q) // noon
+	if len(res.Started) != 0 {
+		t.Fatal("gated job started at noon")
+	}
+	if res.HeadReservation != 18*3600 {
+		t.Fatalf("head reservation = %d, want 18:00", res.HeadReservation)
+	}
+	res = d.Schedule(19*3600, m, q)
+	if len(res.Started) != 1 {
+		t.Fatal("gated job did not start at night")
+	}
+}
+
+func TestFairShareReordersAcrossPasses(t *testing.T) {
+	// Group "hog" burns lots of cycles; a later pass must rank a fresh
+	// group's job above hog's even though hog submitted first — the
+	// dynamic reprioritization that lets new jobs poach queue positions.
+	d := NewDispatcher(NewLSF())
+	m := mkMachine(4)
+	q := NewQueue()
+	burner := job.New(1, "h", "hog", 4, 1000, 1000, 0)
+	q.Push(burner)
+	res := d.Schedule(0, m, q)
+	if len(res.Started) != 1 {
+		t.Fatal("burner did not start")
+	}
+	hogJob := job.New(2, "h", "hog", 4, 10, 10, 5)
+	freshJob := job.New(3, "f", "fresh", 4, 10, 10, 6)
+	q.Push(hogJob)
+	q.Push(freshJob)
+	d.Schedule(10, m, q)
+	if q.Head().ID != 3 {
+		t.Fatalf("head = job %d, want fresh job 3 ahead of hog job 2", q.Head().ID)
+	}
+}
+
+func TestPolicyNamesAndKinds(t *testing.T) {
+	if NewPBS().Name() != "PBS" || NewPBS().Backfill() != Conservative {
+		t.Fatal("PBS config wrong")
+	}
+	if NewLSF().Name() != "LSF" || NewLSF().Backfill() != EASY {
+		t.Fatal("LSF config wrong")
+	}
+	if NewDPCS(DefaultDPCSGate()).Name() != "DPCS" || NewDPCS(DefaultDPCSGate()).Backfill() != EASY {
+		t.Fatal("DPCS config wrong")
+	}
+	if NoBackfill.String() != "fcfs" || EASY.String() != "easy" || Conservative.String() != "conservative" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+func ids(js []*job.Job) []int {
+	out := make([]int, len(js))
+	for i, j := range js {
+		out[i] = j.ID
+	}
+	return out
+}
+
+func TestDispatcherPolicyAccessor(t *testing.T) {
+	d := NewDispatcher(NewLSF())
+	if d.Policy().Name() != "LSF" {
+		t.Fatalf("policy = %s", d.Policy().Name())
+	}
+}
+
+func TestPlanningDurationFloor(t *testing.T) {
+	j := job.New(1, "u", "g", 1, 0, 0, 0)
+	if got := planningDuration(j); got != 1 {
+		t.Fatalf("zero-estimate planning duration = %d, want 1", got)
+	}
+	j.Estimate = 500
+	if got := planningDuration(j); got != 500 {
+		t.Fatalf("planning duration = %d", got)
+	}
+}
+
+func TestFairShareChargesCorrectOnFinish(t *testing.T) {
+	// OnStart charges cpus*estimate; OnFinish corrects to cpus*runtime.
+	pol := NewLSF().(*fairSharePolicy)
+	j := job.New(1, "u", "gX", 10, 100, 1000, 0)
+	j.Start = 0
+	pol.OnStart(0, j)
+	if got := pol.tree.GroupUsage(0, "gX"); got != 10*1000 {
+		t.Fatalf("usage after start = %v, want 10000", got)
+	}
+	j.Finish = 100
+	pol.OnFinish(100, j)
+	// Correction: +10*(100-1000) = -9000; remaining ~1000 decayed over
+	// 100s (negligible at the default one-week half-life).
+	got := pol.tree.GroupUsage(100, "gX")
+	if got < 990 || got > 1000 {
+		t.Fatalf("usage after finish = %v, want ~1000", got)
+	}
+}
+
+func TestMaintenanceOutranksEverything(t *testing.T) {
+	pol := NewLSF()
+	maint := job.New(1, "_maint", "_maint", 10, 100, 100, 0)
+	maint.Class = job.Maintenance
+	pol.Prioritize(0, maint)
+	normal := job.New(2, "u", "g", 1, 100, 100, 0)
+	pol.Prioritize(0, normal)
+	if maint.Priority <= normal.Priority {
+		t.Fatalf("maintenance priority %v not above %v", maint.Priority, normal.Priority)
+	}
+}
+
+func TestDPCSNonWrappingWindow(t *testing.T) {
+	// A window that does not wrap midnight: [08:00, 17:00).
+	g := DPCSGate{BigCPUs: 1, NightStart: 8 * 3600, NightEnd: 17 * 3600}
+	if !g.allowedAt(9 * 3600) {
+		t.Fatal("09:00 should be allowed")
+	}
+	if g.allowedAt(18 * 3600) {
+		t.Fatal("18:00 should be blocked")
+	}
+	if got := g.nextAllowed(5 * 3600); got != 8*3600 {
+		t.Fatalf("nextAllowed(05:00) = %d, want 08:00", got)
+	}
+	if got := g.nextAllowed(20 * 3600); got != 86400+8*3600 {
+		t.Fatalf("nextAllowed(20:00) = %d, want next day 08:00", got)
+	}
+}
+
+func TestEarliestAllowedFitGateInteraction(t *testing.T) {
+	// A gated job whose capacity-fit lands at noon must be pushed into the
+	// night window and re-fitted there.
+	d := NewDispatcher(NewDPCS(DPCSGate{BigCPUs: 4, NightStart: 18 * 3600, NightEnd: 6 * 3600}))
+	m := mkMachine(10)
+	blocker := job.New(1, "u", "g", 8, 12*3600, 12*3600, 0)
+	m.Start(0, blocker) // frees at noon
+	q := NewQueue()
+	gated := job.New(2, "u", "g", 8, 100, 100, 0)
+	q.Push(gated)
+	res := d.Schedule(0, m, q)
+	if len(res.Started) != 0 {
+		t.Fatal("gated job started")
+	}
+	if res.HeadReservation != 18*3600 {
+		t.Fatalf("reservation = %d, want 18:00 (fit at noon pushed to night)", res.HeadReservation)
+	}
+}
+
+func TestMultifactorPriorities(t *testing.T) {
+	pol := NewMultifactor()
+	if pol.Name() != "Multifactor" || pol.Backfill() != EASY {
+		t.Fatal("multifactor config wrong")
+	}
+	now := sim.Time(10 * 3600)
+	old := job.New(1, "u", "g", 4, 100, 100, 0) // waited 10h
+	fresh := job.New(2, "u", "g", 4, 100, 100, now)
+	pol.Prioritize(now, old)
+	pol.Prioritize(now, fresh)
+	if old.Priority <= fresh.Priority {
+		t.Fatalf("age factor missing: old %v vs fresh %v", old.Priority, fresh.Priority)
+	}
+	big := job.New(3, "u", "g", 2048, 100, 100, now)
+	pol.Prioritize(now, big)
+	if big.Priority <= fresh.Priority {
+		t.Fatalf("size factor missing: big %v vs small %v", big.Priority, fresh.Priority)
+	}
+	maint := job.New(4, "_m", "_m", 4, 100, 100, now)
+	maint.Class = job.Maintenance
+	pol.Prioritize(now, maint)
+	if maint.Priority <= big.Priority {
+		t.Fatal("maintenance must outrank everything")
+	}
+}
+
+func TestMultifactorFairShareFactor(t *testing.T) {
+	pol := NewMultifactor()
+	hogJob := job.New(1, "hog", "g", 64, 100000, 100000, 0)
+	hogJob.Start = 0
+	pol.OnStart(0, hogJob)
+	a := job.New(2, "hog", "g", 4, 100, 100, 0)
+	b := job.New(3, "fresh", "g2", 4, 100, 100, 0)
+	pol.Prioritize(0, a)
+	pol.Prioritize(0, b)
+	if a.Priority >= b.Priority {
+		t.Fatalf("fair-share factor missing: hog %v vs fresh %v", a.Priority, b.Priority)
+	}
+}
+
+func TestMultifactorSimulatesCleanly(t *testing.T) {
+	// End-to-end smoke: all jobs finish under the multifactor policy.
+	d := NewDispatcher(NewMultifactor())
+	m := mkMachine(32)
+	q := NewQueue()
+	for i := 1; i <= 10; i++ {
+		q.Push(job.New(i, "u", "g", 8, 100, 200, 0))
+	}
+	started := 0
+	for pass := 0; pass < 100 && started < 10; pass++ {
+		res := d.Schedule(sim.Time(pass*100), m, q)
+		for _, j := range res.Started {
+			started++
+			m.Finish(j.Start+j.Runtime, j)
+		}
+	}
+	if started != 10 {
+		t.Fatalf("started %d/10 under multifactor", started)
+	}
+}

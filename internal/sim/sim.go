@@ -1,0 +1,208 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is intentionally minimal: a clock, a priority queue of timed
+// events, and a run loop. Determinism is guaranteed by breaking time ties
+// with a monotonically increasing sequence number, so two events scheduled
+// for the same instant always fire in scheduling order regardless of heap
+// internals.
+//
+// Simulated time is measured in integer seconds from the start of the
+// simulation (Time). All higher layers (machines, schedulers, the
+// interstitial controller) share this time base.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in seconds since the simulation epoch.
+type Time int64
+
+// Infinity is a sentinel time later than any event a simulation schedules.
+const Infinity Time = 1<<62 - 1
+
+// Hours converts a duration in hours to simulated seconds.
+func Hours(h float64) Time { return Time(h * 3600) }
+
+// Seconds reports t as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// HoursF reports t as a float64 number of hours.
+func (t Time) HoursF() float64 { return float64(t) / 3600 }
+
+// Event is a unit of work scheduled to execute at a simulated instant.
+type Event interface {
+	// Execute runs the event's effect against the simulation.
+	Execute(e *Engine)
+}
+
+// EventFunc adapts a plain function to the Event interface.
+type EventFunc func(e *Engine)
+
+// Execute calls f(e).
+func (f EventFunc) Execute(e *Engine) { f(e) }
+
+// item is a scheduled event inside the heap.
+type item struct {
+	at    Time
+	seq   uint64
+	prio  int // lower fires first among equal (at); used to order phases within an instant
+	event Event
+	index int
+	dead  bool
+}
+
+// eventHeap orders items by (at, prio, seq).
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ it *item }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.it != nil {
+		h.it.dead = true
+	}
+}
+
+// Engine is the simulation kernel: a clock plus a pending-event set.
+// The zero value is ready to use.
+type Engine struct {
+	now      Time
+	seq      uint64
+	events   eventHeap
+	executed uint64
+	stopped  bool
+}
+
+// New returns an empty engine with the clock at 0.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are scheduled and not yet fired
+// (including cancelled events not yet drained).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Stop halts Run before the next event fires.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Schedule enqueues ev to fire at time at. It panics if at precedes the
+// current clock, since time travel indicates a logic error in the caller.
+func (e *Engine) Schedule(at Time, ev Event) Handle {
+	return e.schedule(at, 0, ev)
+}
+
+// SchedulePrio enqueues ev at time at with an explicit phase priority;
+// among events at the same instant, lower prio fires first. Schedulers use
+// this to ensure job completions are processed before scheduling passes at
+// the same instant.
+func (e *Engine) SchedulePrio(at Time, prio int, ev Event) Handle {
+	return e.schedule(at, prio, ev)
+}
+
+func (e *Engine) schedule(at Time, prio int, ev Event) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
+	}
+	e.seq++
+	it := &item{at: at, seq: e.seq, prio: prio, event: ev}
+	heap.Push(&e.events, it)
+	return Handle{it: it}
+}
+
+// ScheduleAfter enqueues ev to fire d seconds from now.
+func (e *Engine) ScheduleAfter(d Time, ev Event) Handle {
+	return e.Schedule(e.now+d, ev)
+}
+
+// step fires the next live event, advancing the clock. It reports false
+// when no live events remain.
+func (e *Engine) step() bool {
+	for len(e.events) > 0 {
+		it := heap.Pop(&e.events).(*item)
+		if it.dead {
+			continue
+		}
+		e.now = it.at
+		e.executed++
+		it.event.Execute(e)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the pending set is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline (if it has not already passed it).
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		next, ok := e.PeekTime()
+		if !ok || next > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// PeekTime reports the timestamp of the next live event.
+func (e *Engine) PeekTime() (Time, bool) {
+	for len(e.events) > 0 {
+		if e.events[0].dead {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0].at, true
+	}
+	return 0, false
+}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyEngine(t *testing.T) {
+	e := New()
+	if e.Now() != 0 {
+		t.Fatalf("fresh engine clock = %d, want 0", e.Now())
+	}
+	e.Run()
+	if e.Executed() != 0 {
+		t.Fatalf("executed %d events on empty engine", e.Executed())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	for i, at := range []Time{30, 10, 20} {
+		i := i
+		e.Schedule(at, EventFunc(func(*Engine) { got = append(got, i) }))
+	}
+	e.Run()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.Schedule(100, EventFunc(func(*Engine) { got = append(got, i) }))
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order broken at %d: %v", i, got)
+		}
+	}
+}
+
+func TestTieBreakByPrio(t *testing.T) {
+	e := New()
+	var got []string
+	e.SchedulePrio(5, 1, EventFunc(func(*Engine) { got = append(got, "sched") }))
+	e.SchedulePrio(5, 0, EventFunc(func(*Engine) { got = append(got, "finish") }))
+	e.Run()
+	if got[0] != "finish" || got[1] != "sched" {
+		t.Fatalf("prio order = %v", got)
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New()
+	var seen []Time
+	for _, at := range []Time{5, 1, 9, 9, 3} {
+		e.Schedule(at, EventFunc(func(en *Engine) { seen = append(seen, en.Now()) }))
+	}
+	e.Run()
+	if !sort.SliceIsSorted(seen, func(i, j int) bool { return seen[i] < seen[j] }) {
+		t.Fatalf("clock went backwards: %v", seen)
+	}
+	if seen[len(seen)-1] != 9 || e.Now() != 9 {
+		t.Fatalf("final clock %d, want 9", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, EventFunc(func(*Engine) {}))
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, EventFunc(func(*Engine) {}))
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	h := e.Schedule(10, EventFunc(func(*Engine) { fired = true }))
+	h.Cancel()
+	h.Cancel() // double-cancel is a no-op
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Executed() != 0 {
+		t.Fatalf("executed = %d, want 0", e.Executed())
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := New()
+	var got []int
+	var hs []Handle
+	for i := 0; i < 10; i++ {
+		i := i
+		hs = append(hs, e.Schedule(Time(i), EventFunc(func(*Engine) { got = append(got, i) })))
+	}
+	hs[3].Cancel()
+	hs[7].Cancel()
+	e.Run()
+	if len(got) != 8 {
+		t.Fatalf("fired %d events, want 8: %v", len(got), got)
+	}
+	for _, v := range got {
+		if v == 3 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestScheduleDuringRun(t *testing.T) {
+	e := New()
+	var got []Time
+	e.Schedule(1, EventFunc(func(en *Engine) {
+		got = append(got, en.Now())
+		en.ScheduleAfter(4, EventFunc(func(en *Engine) { got = append(got, en.Now()) }))
+	}))
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("got %v, want [1 5]", got)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	n := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), EventFunc(func(en *Engine) {
+			n++
+			if n == 3 {
+				en.Stop()
+			}
+		}))
+	}
+	e.Run()
+	if n != 3 {
+		t.Fatalf("executed %d events after Stop, want 3", n)
+	}
+	e.Run() // resumes
+	if n != 10 {
+		t.Fatalf("resume executed %d total, want 10", n)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, at := range []Time{2, 4, 6, 8} {
+		e.Schedule(at, EventFunc(func(en *Engine) { got = append(got, en.Now()) }))
+	}
+	e.RunUntil(5)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil(5) fired %d, want 2", len(got))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock after RunUntil = %d, want 5", e.Now())
+	}
+	e.Run()
+	if len(got) != 4 {
+		t.Fatalf("resume fired %d total, want 4", len(got))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New()
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("idle RunUntil clock = %d, want 100", e.Now())
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	e := New()
+	if _, ok := e.PeekTime(); ok {
+		t.Fatal("PeekTime on empty engine reported an event")
+	}
+	h := e.Schedule(7, EventFunc(func(*Engine) {}))
+	if at, ok := e.PeekTime(); !ok || at != 7 {
+		t.Fatalf("PeekTime = %d,%v want 7,true", at, ok)
+	}
+	h.Cancel()
+	if _, ok := e.PeekTime(); ok {
+		t.Fatal("PeekTime saw cancelled event")
+	}
+}
+
+func TestHoursConversion(t *testing.T) {
+	if Hours(1) != 3600 {
+		t.Fatalf("Hours(1) = %d", Hours(1))
+	}
+	if got := Time(7200).HoursF(); got != 2 {
+		t.Fatalf("HoursF = %v", got)
+	}
+	if got := Time(90).Seconds(); got != 90 {
+		t.Fatalf("Seconds = %v", got)
+	}
+}
+
+// Property: for any set of scheduled times, events fire in nondecreasing
+// time order and all fire exactly once.
+func TestQuickOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := New()
+		var fired []Time
+		for _, r := range raw {
+			e.Schedule(Time(r), EventFunc(func(en *Engine) { fired = append(fired, en.Now()) }))
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset fires exactly the complement.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		e := New()
+		rng := rand.New(rand.NewSource(seed))
+		fired := 0
+		cancelled := 0
+		var hs []Handle
+		for _, r := range raw {
+			hs = append(hs, e.Schedule(Time(r), EventFunc(func(*Engine) { fired++ })))
+		}
+		for _, h := range hs {
+			if rng.Intn(2) == 0 {
+				h.Cancel()
+				cancelled++
+			}
+		}
+		e.Run()
+		return fired == len(raw)-cancelled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time((j*2654435761)%100000), EventFunc(func(*Engine) {}))
+		}
+		e.Run()
+	}
+}

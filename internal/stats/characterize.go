@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"text/tabwriter"
+
+	"interstitial/internal/job"
+	"interstitial/internal/sim"
+)
+
+// Characterization summarizes a workload the way the paper's Section 3-4
+// describes its logs: counts, size marginals, runtime and estimate
+// distributions, arrival burstiness, and offered load.
+type Characterization struct {
+	Jobs     int
+	Users    int
+	Groups   int
+	SpanDays float64
+
+	// Size marginal: count per power-of-two bucket (bucket i holds sizes
+	// in [2^i, 2^(i+1))).
+	SizeBuckets []int
+	MaxCPUs     int
+
+	RuntimeH  Summary // hours
+	EstimateH Summary // hours
+	// EstimateOverRatio is the geometric mean of estimate/actual.
+	EstimateOverRatio float64
+
+	// Dispersion is the index of dispersion of 6h arrival counts
+	// (1 = Poisson; >> 1 = bursty).
+	Dispersion float64
+
+	// OfferedLoadPerCPU is total CPU-seconds / span, divided by nCPUs if
+	// nCPUs > 0 (else raw CPU-seconds per second).
+	OfferedLoad float64
+}
+
+// Characterize analyzes a job log. nCPUs (machine size) may be zero if
+// unknown; offered load is then left in CPU units.
+func Characterize(jobs []*job.Job, nCPUs int) Characterization {
+	c := Characterization{Jobs: len(jobs)}
+	if len(jobs) == 0 {
+		return c
+	}
+	users := map[string]bool{}
+	groups := map[string]bool{}
+	var first, last sim.Time
+	first = jobs[0].Submit
+	var rts, ests []float64
+	var area, logRatio float64
+	nRatio := 0
+	maxBucket := 0
+	buckets := map[int]int{}
+	for _, j := range jobs {
+		users[j.User] = true
+		groups[j.Group] = true
+		if j.Submit < first {
+			first = j.Submit
+		}
+		if j.Submit > last {
+			last = j.Submit
+		}
+		if j.CPUs > c.MaxCPUs {
+			c.MaxCPUs = j.CPUs
+		}
+		b := 0
+		for v := j.CPUs; v > 1; v /= 2 {
+			b++
+		}
+		buckets[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+		rts = append(rts, j.Runtime.HoursF())
+		ests = append(ests, j.Estimate.HoursF())
+		area += j.CPUSeconds()
+		if j.Runtime > 0 && j.Estimate > 0 {
+			logRatio += math.Log(float64(j.Estimate) / float64(j.Runtime))
+			nRatio++
+		}
+	}
+	c.Users = len(users)
+	c.Groups = len(groups)
+	span := float64(last - first)
+	c.SpanDays = span / 86400
+	c.SizeBuckets = make([]int, maxBucket+1)
+	for b, n := range buckets {
+		c.SizeBuckets[b] = n
+	}
+	c.RuntimeH = Summarize(rts)
+	c.EstimateH = Summarize(ests)
+	if nRatio > 0 {
+		c.EstimateOverRatio = math.Exp(logRatio / float64(nRatio))
+	}
+	if span > 0 {
+		c.OfferedLoad = area / span
+		if nCPUs > 0 {
+			c.OfferedLoad /= float64(nCPUs)
+		}
+	}
+	c.Dispersion = dispersion(jobs, 6*3600)
+	return c
+}
+
+// dispersion computes the index of dispersion of arrival counts in fixed
+// buckets: variance/mean, 1 for Poisson.
+func dispersion(jobs []*job.Job, bucket sim.Time) float64 {
+	if len(jobs) == 0 {
+		return 0
+	}
+	counts := map[sim.Time]int{}
+	var lo, hi sim.Time
+	lo = jobs[0].Submit
+	for _, j := range jobs {
+		counts[j.Submit/bucket]++
+		if j.Submit < lo {
+			lo = j.Submit
+		}
+		if j.Submit > hi {
+			hi = j.Submit
+		}
+	}
+	n := int(hi/bucket) - int(lo/bucket) + 1
+	if n < 2 {
+		return 0
+	}
+	mean := float64(len(jobs)) / float64(n)
+	if mean == 0 {
+		return 0
+	}
+	var varsum float64
+	for i := 0; i < n; i++ {
+		d := float64(counts[lo/bucket+sim.Time(i)]) - mean
+		varsum += d * d
+	}
+	return varsum / float64(n) / mean
+}
+
+// Render writes the characterization as a report.
+func (c Characterization) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "jobs\t%d\n", c.Jobs)
+	fmt.Fprintf(tw, "users / groups\t%d / %d\n", c.Users, c.Groups)
+	fmt.Fprintf(tw, "submission span\t%.1f days\n", c.SpanDays)
+	fmt.Fprintf(tw, "largest job\t%d CPUs\n", c.MaxCPUs)
+	fmt.Fprintf(tw, "runtime median / mean\t%.2f / %.2f h\n", c.RuntimeH.Median, c.RuntimeH.Mean)
+	fmt.Fprintf(tw, "estimate median / mean\t%.2f / %.2f h\n", c.EstimateH.Median, c.EstimateH.Mean)
+	fmt.Fprintf(tw, "estimate/actual (geo mean)\t%.1fx\n", c.EstimateOverRatio)
+	fmt.Fprintf(tw, "arrival dispersion (6h)\t%.1f (1 = Poisson)\n", c.Dispersion)
+	fmt.Fprintf(tw, "offered load\t%.3f\n", c.OfferedLoad)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "CPU size marginal (power-of-two buckets):")
+	peak := 0
+	for _, n := range c.SizeBuckets {
+		if n > peak {
+			peak = n
+		}
+	}
+	for b, n := range c.SizeBuckets {
+		if n == 0 {
+			continue
+		}
+		bar := ""
+		if peak > 0 {
+			for i := 0; i < n*40/peak; i++ {
+				bar += "#"
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  %6d  %6d %s\n", 1<<b, n, bar); err != nil {
+			return err
+		}
+	}
+	return nil
+}

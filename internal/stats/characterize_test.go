@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"interstitial/internal/job"
+	"interstitial/internal/sim"
+)
+
+func TestCharacterizeEmpty(t *testing.T) {
+	c := Characterize(nil, 100)
+	if c.Jobs != 0 || c.Users != 0 {
+		t.Fatalf("empty characterization: %+v", c)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCharacterizeBasics(t *testing.T) {
+	jobs := []*job.Job{
+		job.New(1, "a", "g1", 1, 3600, 7200, 0),
+		job.New(2, "b", "g1", 4, 3600, 21600, 43200),
+		job.New(3, "a", "g2", 16, 7200, 7200, 86400),
+	}
+	c := Characterize(jobs, 100)
+	if c.Jobs != 3 || c.Users != 2 || c.Groups != 2 {
+		t.Fatalf("counts: %+v", c)
+	}
+	if math.Abs(c.SpanDays-1.0) > 1e-9 {
+		t.Fatalf("span = %v days, want 1", c.SpanDays)
+	}
+	if c.MaxCPUs != 16 {
+		t.Fatalf("max = %d", c.MaxCPUs)
+	}
+	// Size buckets: 1 -> bucket 0, 4 -> bucket 2, 16 -> bucket 4.
+	if c.SizeBuckets[0] != 1 || c.SizeBuckets[2] != 1 || c.SizeBuckets[4] != 1 {
+		t.Fatalf("buckets = %v", c.SizeBuckets)
+	}
+	if c.RuntimeH.Median != 1 {
+		t.Fatalf("median runtime = %v h", c.RuntimeH.Median)
+	}
+	// Geometric overestimate: (2 * 6 * 1)^(1/3).
+	want := math.Pow(12, 1.0/3)
+	if math.Abs(c.EstimateOverRatio-want) > 1e-9 {
+		t.Fatalf("ratio = %v, want %v", c.EstimateOverRatio, want)
+	}
+	// Offered load: (3600 + 4*3600 + 16*7200) CPU.s / 86400 s / 100 CPUs.
+	wantLoad := (3600.0 + 4*3600 + 16*7200) / 86400 / 100
+	if math.Abs(c.OfferedLoad-wantLoad) > 1e-9 {
+		t.Fatalf("load = %v, want %v", c.OfferedLoad, wantLoad)
+	}
+}
+
+func TestDispersionPoissonVsBursty(t *testing.T) {
+	// Uniform arrivals: dispersion well below bursty.
+	var uniform []*job.Job
+	for i := 0; i < 1000; i++ {
+		uniform = append(uniform, job.New(i+1, "u", "g", 1, 60, 60, sim.Time(i)*600))
+	}
+	// Bursty: same count crammed into every 10th bucket.
+	var bursty []*job.Job
+	for i := 0; i < 1000; i++ {
+		bucket := sim.Time(i/100) * 10 * 6 * 3600
+		bursty = append(bursty, job.New(i+1, "u", "g", 1, 60, 60, bucket+sim.Time(i%100)))
+	}
+	du := dispersion(uniform, 6*3600)
+	db := dispersion(bursty, 6*3600)
+	if du > 1 {
+		t.Fatalf("uniform dispersion = %v, want < 1", du)
+	}
+	if db < 10*du {
+		t.Fatalf("bursty dispersion %v not clearly above uniform %v", db, du)
+	}
+}
+
+func TestCharacterizeRender(t *testing.T) {
+	jobs := []*job.Job{job.New(1, "a", "g", 32, 3600, 7200, 0), job.New(2, "a", "g", 32, 3600, 7200, 86400)}
+	var buf bytes.Buffer
+	if err := Characterize(jobs, 100).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"jobs", "users / groups", "32", "size marginal"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import "math"
+
+// Autocorrelation returns the sample autocorrelation of xs at lags
+// 0..maxLag (inclusive). Lag 0 is 1 by construction; a constant series
+// returns zeros beyond lag 0.
+func Autocorrelation(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	out := make([]float64, maxLag+1)
+	if n == 0 {
+		return out
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var variance float64
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	if variance == 0 {
+		if maxLag >= 0 {
+			out[0] = 1
+		}
+		return out
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		var c float64
+		for i := 0; i+lag < n; i++ {
+			c += (xs[i] - mean) * (xs[i+lag] - mean)
+		}
+		out[lag] = c / variance
+	}
+	return out
+}
+
+// HurstAggVar estimates the Hurst exponent of xs by the aggregated
+// variance method: var of m-aggregated means ~ m^(2H-2). H = 0.5 for
+// uncorrelated series; H > 0.5 indicates long-range dependence (the
+// paper's cited property of supercomputer job submissions). Returns 0.5
+// when the series is too short to estimate.
+func HurstAggVar(xs []float64) float64 {
+	n := len(xs)
+	if n < 32 {
+		return 0.5
+	}
+	var logM, logV []float64
+	for m := 1; m <= n/8; m *= 2 {
+		k := n / m
+		means := make([]float64, k)
+		for i := 0; i < k; i++ {
+			var s float64
+			for j := 0; j < m; j++ {
+				s += xs[i*m+j]
+			}
+			means[i] = s / float64(m)
+		}
+		sm := Summarize(means)
+		v := sm.Std * sm.Std
+		if v <= 0 {
+			continue
+		}
+		logM = append(logM, math.Log(float64(m)))
+		logV = append(logV, math.Log(v))
+	}
+	if len(logM) < 3 {
+		return 0.5
+	}
+	// Least squares slope beta of logV vs logM; H = 1 + beta/2.
+	nn := float64(len(logM))
+	var sx, sy, sxx, sxy float64
+	for i := range logM {
+		sx += logM[i]
+		sy += logV[i]
+		sxx += logM[i] * logM[i]
+		sxy += logM[i] * logV[i]
+	}
+	den := nn*sxx - sx*sx
+	if den == 0 {
+		return 0.5
+	}
+	beta := (nn*sxy - sx*sy) / den
+	h := 1 + beta/2
+	if h < 0 {
+		h = 0
+	}
+	if h > 1 {
+		h = 1
+	}
+	return h
+}

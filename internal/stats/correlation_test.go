@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAutocorrelationBasics(t *testing.T) {
+	if got := Autocorrelation(nil, 5); len(got) != 0 {
+		t.Fatalf("empty acf = %v", got)
+	}
+	constant := []float64{3, 3, 3, 3, 3}
+	acf := Autocorrelation(constant, 3)
+	if acf[0] != 1 {
+		t.Fatalf("constant acf[0] = %v", acf[0])
+	}
+	for _, v := range acf[1:] {
+		if v != 0 {
+			t.Fatalf("constant acf tail = %v", acf)
+		}
+	}
+}
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	acf := Autocorrelation(xs, 10)
+	if math.Abs(acf[0]-1) > 1e-12 {
+		t.Fatalf("acf[0] = %v", acf[0])
+	}
+	for lag := 1; lag <= 10; lag++ {
+		if math.Abs(acf[lag]) > 0.05 {
+			t.Fatalf("white noise acf[%d] = %v", lag, acf[lag])
+		}
+	}
+}
+
+func TestAutocorrelationPersistentSeries(t *testing.T) {
+	// AR(1) with phi=0.9: acf[k] ~ 0.9^k.
+	r := rand.New(rand.NewSource(2))
+	xs := make([]float64, 20000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.9*xs[i-1] + r.NormFloat64()
+	}
+	acf := Autocorrelation(xs, 5)
+	if acf[1] < 0.85 || acf[1] > 0.95 {
+		t.Fatalf("AR(1) acf[1] = %v, want ~0.9", acf[1])
+	}
+	if acf[5] < 0.5 {
+		t.Fatalf("AR(1) acf[5] = %v, want ~0.59", acf[5])
+	}
+}
+
+func TestAutocorrelationLagClamp(t *testing.T) {
+	acf := Autocorrelation([]float64{1, 2, 3}, 99)
+	if len(acf) != 3 {
+		t.Fatalf("clamped acf len = %d", len(acf))
+	}
+}
+
+func TestHurstWhiteNoiseNearHalf(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	xs := make([]float64, 8192)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	h := HurstAggVar(xs)
+	if h < 0.4 || h > 0.6 {
+		t.Fatalf("white noise H = %v, want ~0.5", h)
+	}
+}
+
+func TestHurstPersistentAboveHalf(t *testing.T) {
+	// Strongly persistent AR(1) is not true long-range dependence but
+	// pushes the aggregated-variance estimate well above 0.5 at these
+	// lengths.
+	r := rand.New(rand.NewSource(4))
+	xs := make([]float64, 8192)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.97*xs[i-1] + r.NormFloat64()
+	}
+	h := HurstAggVar(xs)
+	if h < 0.7 {
+		t.Fatalf("persistent H = %v, want > 0.7", h)
+	}
+}
+
+func TestHurstDegenerate(t *testing.T) {
+	if h := HurstAggVar(make([]float64, 10)); h != 0.5 {
+		t.Fatalf("short series H = %v, want fallback 0.5", h)
+	}
+	if h := HurstAggVar(make([]float64, 100)); h != 0.5 {
+		t.Fatalf("constant series H = %v, want fallback 0.5", h)
+	}
+}

@@ -1,0 +1,289 @@
+// Package stats computes every metric the paper reports from simulated job
+// records: windowed utilizations, wait-time summaries (median/mean, all
+// jobs and the 5 % largest by CPU-seconds), expansion factors, makespan
+// summaries over replications, CDFs, log10 wait histograms, and hourly
+// utilization series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"interstitial/internal/job"
+	"interstitial/internal/sim"
+)
+
+// Utilization reports the fraction of N CPUs doing real work over
+// [from, to), computed from job records (each contributes cpus x overlap).
+// Jobs that never started contribute nothing; Maintenance (outage) jobs
+// occupy CPUs but earn no utilization credit — outage time stays in the
+// denominator, matching the paper's "including outages" accounting.
+func Utilization(jobs []*job.Job, n int, from, to sim.Time) float64 {
+	if to <= from || n <= 0 {
+		return 0
+	}
+	var busy float64
+	for _, j := range jobs {
+		if j.Class == job.Maintenance {
+			continue
+		}
+		busy += float64(j.CPUs) * float64(overlap(j, from, to))
+	}
+	return busy / (float64(n) * float64(to-from))
+}
+
+// overlap reports how many seconds of j's execution fall in [from, to).
+func overlap(j *job.Job, from, to sim.Time) sim.Time {
+	if j.Start < 0 {
+		return 0
+	}
+	end := j.Finish
+	if end < 0 {
+		end = j.Start + j.Runtime
+	}
+	s, e := j.Start, end
+	if s < from {
+		s = from
+	}
+	if e > to {
+		e = to
+	}
+	if e <= s {
+		return 0
+	}
+	return e - s
+}
+
+// UtilizationByClass splits Utilization into (overall, native-only).
+func UtilizationByClass(jobs []*job.Job, n int, from, to sim.Time) (overall, native float64) {
+	var busyAll, busyNat float64
+	if to <= from || n <= 0 {
+		return 0, 0
+	}
+	for _, j := range jobs {
+		if j.Class == job.Maintenance {
+			continue
+		}
+		a := float64(j.CPUs) * float64(overlap(j, from, to))
+		busyAll += a
+		if j.Class == job.Native {
+			busyNat += a
+		}
+	}
+	denom := float64(n) * float64(to-from)
+	return busyAll / denom, busyNat / denom
+}
+
+// HourlySeries reports utilization per bucket of the given width over
+// [0, horizon) — the data behind Figure 4.
+func HourlySeries(jobs []*job.Job, n int, horizon, bucket sim.Time) []float64 {
+	if bucket <= 0 {
+		bucket = 3600
+	}
+	nb := int((horizon + bucket - 1) / bucket)
+	out := make([]float64, nb)
+	for _, j := range jobs {
+		if j.Start < 0 || j.Class == job.Maintenance {
+			continue
+		}
+		end := j.Finish
+		if end < 0 {
+			end = j.Start + j.Runtime
+		}
+		if end > horizon {
+			end = horizon
+		}
+		b0 := int(j.Start / bucket)
+		for b := b0; b < nb; b++ {
+			bs, be := sim.Time(b)*bucket, sim.Time(b+1)*bucket
+			if bs >= end {
+				break
+			}
+			out[b] += float64(j.CPUs) * float64(overlap(j, bs, be))
+		}
+	}
+	for b := range out {
+		out[b] /= float64(n) * float64(bucket)
+	}
+	return out
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Std    float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary. An empty sample returns zeros.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum, sq float64
+	for _, x := range s {
+		sum += x
+		sq += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(s),
+		Mean:   mean,
+		Median: quantileSorted(s, 0.5),
+		Std:    math.Sqrt(variance),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+	}
+}
+
+// Quantile reports the q-quantile (0..1) of xs by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Waits extracts wait times (seconds) of started jobs matching the class.
+func Waits(jobs []*job.Job, class job.Class) []float64 {
+	var out []float64
+	for _, j := range jobs {
+		if j.Class != class || j.Start < 0 {
+			continue
+		}
+		out = append(out, float64(j.Wait()))
+	}
+	return out
+}
+
+// ExpansionFactors extracts EF = 1 + wait/runtime for started jobs of the
+// class.
+func ExpansionFactors(jobs []*job.Job, class job.Class) []float64 {
+	var out []float64
+	for _, j := range jobs {
+		if j.Class != class || j.Start < 0 {
+			continue
+		}
+		out = append(out, j.ExpansionFactor())
+	}
+	return out
+}
+
+// LargestByCPUSeconds returns the top frac (e.g. 0.05) of jobs by
+// CPU-seconds — the paper's "5% largest jobs" slice. Ties break on ID for
+// determinism.
+func LargestByCPUSeconds(jobs []*job.Job, frac float64) []*job.Job {
+	s := append([]*job.Job(nil), jobs...)
+	sort.Slice(s, func(i, k int) bool {
+		a, b := s[i].CPUSeconds(), s[k].CPUSeconds()
+		if a != b {
+			return a > b
+		}
+		return s[i].ID < s[k].ID
+	})
+	n := int(float64(len(s))*frac + 0.5)
+	if n < 1 && len(s) > 0 {
+		n = 1
+	}
+	return s[:n]
+}
+
+// NativeOnly filters a record set to native jobs.
+func NativeOnly(jobs []*job.Job) []*job.Job {
+	var out []*job.Job
+	for _, j := range jobs {
+		if j.Class == job.Native {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// InterstitialOnly filters a record set to interstitial jobs.
+func InterstitialOnly(jobs []*job.Job) []*job.Job {
+	var out []*job.Job
+	for _, j := range jobs {
+		if j.Class == job.Interstitial {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Log10Histogram bins positive values by order of magnitude: bin k counts
+// values in [10^k, 10^(k+1)). Values < 1 (including zeros) land in bin 0,
+// matching the paper's Figures 5-6 where the (0,1] decade holds the
+// no-wait mass. Returns normalized probabilities over nbins.
+func Log10Histogram(xs []float64, nbins int) []float64 {
+	out := make([]float64, nbins)
+	if len(xs) == 0 {
+		return out
+	}
+	for _, x := range xs {
+		b := 0
+		if x >= 1 {
+			b = int(math.Log10(x))
+			if b >= nbins {
+				b = nbins - 1
+			}
+		}
+		out[b]++
+	}
+	for i := range out {
+		out[i] /= float64(len(xs))
+	}
+	return out
+}
+
+// CDF returns the empirical CDF of xs evaluated at the sorted sample
+// points: (sorted values, cumulative probabilities).
+func CDF(xs []float64) (values, probs []float64) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	values = append([]float64(nil), xs...)
+	sort.Float64s(values)
+	probs = make([]float64, len(values))
+	for i := range values {
+		probs[i] = float64(i+1) / float64(len(values))
+	}
+	return values, probs
+}
+
+// FormatSeconds renders seconds the way the paper's tables do: "0.2k",
+// "4.4k", "93k".
+func FormatSeconds(s float64) string {
+	if s >= 1000 {
+		return fmt.Sprintf("%.1fk", s/1000)
+	}
+	return fmt.Sprintf("%.0f", s)
+}

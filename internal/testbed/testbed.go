@@ -1,0 +1,110 @@
+// Package testbed bundles each ASCI machine's hardware profile, workload
+// profile, and queueing policy into a ready-to-simulate System, and
+// provides the utilization calibration loop: the synthetic log is rescaled
+// until the *achieved* native utilization in simulation matches Table 1,
+// not merely the offered load.
+package testbed
+
+import (
+	"fmt"
+
+	"interstitial/internal/engine"
+	"interstitial/internal/job"
+	"interstitial/internal/sched"
+	"interstitial/internal/sim"
+	"interstitial/internal/stats"
+	"interstitial/internal/workload"
+)
+
+// System is one of the paper's three machines, ready to simulate.
+type System struct {
+	// Name is the machine name ("Ross", "Blue Mountain", "Blue Pacific").
+	Name string
+	// Workload is the synthetic log profile.
+	Workload workload.Profile
+	// NewPolicy constructs a fresh instance of the machine's queueing
+	// policy (policies are stateful: fair-share usage).
+	NewPolicy func() sched.Policy
+}
+
+// Ross returns the Sandia machine: PBS with equal shares and restrictive
+// (conservative) backfill.
+func Ross() System {
+	return System{Name: "Ross", Workload: workload.Ross(), NewPolicy: func() sched.Policy { return sched.NewPBS() }}
+}
+
+// BlueMountain returns the Los Alamos machine: LSF with hierarchical group
+// fair share and EASY backfill.
+func BlueMountain() System {
+	return System{Name: "Blue Mountain", Workload: workload.BlueMountain(), NewPolicy: func() sched.Policy { return sched.NewLSF() }}
+}
+
+// BluePacific returns the Livermore machine: DPCS with user+group fair
+// share, EASY backfill, and time-of-day constraints.
+func BluePacific() System {
+	return System{Name: "Blue Pacific", Workload: workload.BluePacific(), NewPolicy: func() sched.Policy {
+		return sched.NewDPCS(sched.DefaultDPCSGate())
+	}}
+}
+
+// All returns the three systems in the paper's column order.
+func All() []System { return []System{Ross(), BlueMountain(), BluePacific()} }
+
+// NewSimulator builds a fresh simulator for the system.
+func (s System) NewSimulator() *engine.Simulator {
+	return engine.New(s.Workload.Machine, s.NewPolicy())
+}
+
+// RunNative simulates the given native log with no interstitial jobs and
+// reports the achieved native utilization over the log horizon. The jobs
+// slice is mutated (start/finish recorded).
+func (s System) RunNative(jobs []*job.Job) (*engine.Simulator, float64) {
+	sm := s.NewSimulator()
+	sm.Submit(jobs...)
+	sm.Run()
+	native := stats.Utilization(jobs, s.Workload.Machine.CPUs, 0, s.Workload.Duration())
+	return sm, native
+}
+
+// CalibratedLog generates a native log whose achieved (simulated)
+// utilization matches the profile's Table 1 target within tol, by
+// iteratively rescaling the offered load. It returns a fresh, unsimulated
+// log. Typical convergence is 1-3 iterations.
+func (s System) CalibratedLog(seed int64, tol float64) []*job.Job {
+	if tol <= 0 {
+		tol = 0.01
+	}
+	p := s.Workload
+	target := p.TargetUtil
+	offered := target
+	for iter := 0; iter < 5; iter++ {
+		p.TargetUtil = offered
+		jobs := workload.Generate(p, seed)
+		_, achieved := s.RunNative(job.CloneAll(jobs))
+		if achieved <= 0 {
+			panic(fmt.Sprintf("testbed %s: zero achieved utilization", s.Name))
+		}
+		if diff := achieved - target; diff <= tol && diff >= -tol {
+			return jobs
+		}
+		// Proportional correction, damped, and clamped to a sane band so
+		// a saturated machine cannot drive the offered load to silly
+		// values.
+		offered *= 1 + 0.9*(target-achieved)/target
+		if offered > 0.99 {
+			offered = 0.99
+		}
+		if offered < target/2 {
+			offered = target / 2
+		}
+	}
+	p.TargetUtil = offered
+	return workload.Generate(p, seed)
+}
+
+// Seconds1GHz converts a per-CPU work amount expressed as "seconds at
+// 1 GHz" (the paper's normalization) into wallclock seconds on this
+// system's machine.
+func (s System) Seconds1GHz(sec float64) sim.Time {
+	return sim.Time(sec/s.Workload.Machine.ClockGHz + 0.5)
+}

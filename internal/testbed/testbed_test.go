@@ -1,0 +1,106 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"interstitial/internal/job"
+	"interstitial/internal/stats"
+)
+
+func TestSystemsConfigured(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("systems = %d", len(all))
+	}
+	wantPolicies := map[string]string{"Ross": "PBS", "Blue Mountain": "LSF", "Blue Pacific": "DPCS"}
+	for _, s := range all {
+		if got := s.NewPolicy().Name(); got != wantPolicies[s.Name] {
+			t.Errorf("%s policy = %s, want %s", s.Name, got, wantPolicies[s.Name])
+		}
+	}
+}
+
+func TestSeconds1GHz(t *testing.T) {
+	// 120s@1GHz: Ross 204s, BM 458s, BP 325s.
+	want := map[string]int64{"Ross": 204, "Blue Mountain": 458, "Blue Pacific": 325}
+	for _, s := range All() {
+		got := int64(s.Seconds1GHz(120))
+		if d := got - want[s.Name]; d < -1 || d > 1 {
+			t.Errorf("%s 120s@1GHz = %ds, want %d", s.Name, got, want[s.Name])
+		}
+	}
+}
+
+func TestRunNativeFinishesEverything(t *testing.T) {
+	s := Ross()
+	// Shrink for test speed: quarter-length log.
+	s.Workload.Days /= 4
+	s.Workload.Jobs /= 4
+	jobs := jobsFor(t, s)
+	sm, util := s.RunNative(jobs)
+	if util <= 0.3 || util >= 1 {
+		t.Fatalf("achieved util = %v", util)
+	}
+	for _, j := range jobs {
+		if j.State != job.Finished {
+			t.Fatalf("job %d not finished", j.ID)
+		}
+	}
+	if err := sm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func jobsFor(t *testing.T, s System) []*job.Job {
+	t.Helper()
+	return s.CalibratedLog(1, 0.05)
+}
+
+func TestCalibratedLogHitsTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration loop is seconds-scale")
+	}
+	for _, s := range All() {
+		jobs := s.CalibratedLog(7, 0.015)
+		_, achieved := s.RunNative(job.CloneAll(jobs))
+		if math.Abs(achieved-s.Workload.TargetUtil) > 0.02 {
+			t.Errorf("%s calibrated to %.3f, want %.3f +-0.02", s.Name, achieved, s.Workload.TargetUtil)
+		}
+	}
+}
+
+func TestCalibratedLogDeterministic(t *testing.T) {
+	s := BlueMountain()
+	s.Workload.Days /= 8
+	s.Workload.Jobs /= 8
+	a := s.CalibratedLog(3, 0.05)
+	b := s.CalibratedLog(3, 0.05)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Runtime != b[i].Runtime || a[i].Submit != b[i].Submit {
+			t.Fatalf("job %d differs across identical calibrations", i)
+		}
+	}
+}
+
+func TestUtilizationVarianceIsLarge(t *testing.T) {
+	// Section 1 of the paper: "the utilization is quite variable" — the
+	// premise that makes interstices exist at all. Verify the hourly
+	// utilization series has real spread on Blue Mountain.
+	s := BlueMountain()
+	s.Workload.Days /= 4
+	s.Workload.Jobs /= 4
+	jobs := s.CalibratedLog(5, 0.05)
+	s.RunNative(jobs)
+	series := stats.HourlySeries(jobs, s.Workload.Machine.CPUs, s.Workload.Duration(), 3600)
+	sum := stats.Summarize(series)
+	if sum.Std < 0.08 {
+		t.Fatalf("hourly utilization std = %.3f; too flat to exhibit interstices", sum.Std)
+	}
+	if sum.Max < 0.95 {
+		t.Fatalf("utilization never saturates (max %.3f); workload too thin", sum.Max)
+	}
+}

@@ -1,0 +1,89 @@
+// Package theory implements the paper's analytic model (Section 4.2): the
+// constant-utilization makespan law, the fitted linear correction, and the
+// space-breakage factor for finite-size interstitial jobs.
+package theory
+
+import (
+	"fmt"
+	"math"
+)
+
+// Makespan returns the ideal interstitial project makespan in seconds for
+// a project of `petaCycles` peta-cycles on a machine of n CPUs at clock c
+// GHz running at constant native utilization u:
+//
+//	Makespan = P / (n * C * (1-U))
+func Makespan(petaCycles float64, nCPUs int, clockGHz, util float64) float64 {
+	if util >= 1 {
+		return math.Inf(1)
+	}
+	capacity := float64(nCPUs) * clockGHz * 1e9 * (1 - util) // cycles/sec of spare capacity
+	return petaCycles * 1e15 / capacity
+}
+
+// FittedMakespan applies the paper's empirical fit to the ideal law:
+//
+//	Makespan(sec) = 5256 + 1.16 * P/(nC(1-U))
+//
+// good to about +-17% on the paper's machines.
+func FittedMakespan(petaCycles float64, nCPUs int, clockGHz, util float64) float64 {
+	return 5256 + 1.16*Makespan(petaCycles, nCPUs, clockGHz, util)
+}
+
+// Breakage returns the paper's space-breakage factor for n-CPU
+// interstitial jobs on a machine with N CPUs at utilization U:
+//
+//	breakage = (N(1-U)/n) / floor(N(1-U)/n)
+//
+// the multiplicative makespan penalty from idle CPUs that cannot hold a
+// whole job. It returns +Inf when fewer than n CPUs are spare on average
+// (floor = 0), and 1 for 1-CPU jobs.
+func Breakage(totalCPUs int, util float64, jobCPUs int) float64 {
+	spare := float64(totalCPUs) * (1 - util)
+	slots := math.Floor(spare / float64(jobCPUs))
+	if slots < 1 {
+		return math.Inf(1)
+	}
+	return spare / float64(jobCPUs) / slots
+}
+
+// AvgSpareCPUs reports N(1-U), the mean free processor count.
+func AvgSpareCPUs(totalCPUs int, util float64) float64 {
+	return float64(totalCPUs) * (1 - util)
+}
+
+// LinearFit fits y = a + b*x by least squares and reports (a, b, r2). It
+// is used to re-derive the paper's 5256 + 1.16x fit from simulated points.
+func LinearFit(xs, ys []float64) (a, b, r2 float64, err error) {
+	n := float64(len(xs))
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0, fmt.Errorf("theory: need >= 2 paired points, got %d/%d", len(xs), len(ys))
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, fmt.Errorf("theory: degenerate x values")
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	// Coefficient of determination.
+	ssTot := syy - sy*sy/n
+	var ssRes float64
+	for i := range xs {
+		d := ys[i] - (a + b*xs[i])
+		ssRes += d * d
+	}
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	} else {
+		r2 = 1
+	}
+	return a, b, r2, nil
+}

@@ -1,0 +1,145 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The paper computes these breakage values explicitly in Section 4.2.
+func TestBreakageMatchesPaper(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		util float64
+		want float64
+	}{
+		{"Ross", 1436, 0.631, 1.035},         // 16.55/16
+		{"BlueMountain", 4662, 0.790, 1.020}, // 30.59/30
+		{"BluePacific", 926, 0.907, 1.346},   // 2.69/2
+	}
+	for _, c := range cases {
+		got := Breakage(c.n, c.util, 32)
+		if math.Abs(got-c.want) > 0.005 {
+			t.Errorf("%s breakage = %.3f, want %.3f", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBreakageOneCPUJobs(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		util float64
+	}{{1436, 0.631}, {4662, 0.79}, {926, 0.907}} {
+		got := Breakage(c.n, c.util, 1)
+		// With 1-CPU jobs the floor loses at most a fractional CPU of
+		// hundreds: breakage ~ 1.
+		if got < 1 || got > 1.02 {
+			t.Errorf("1-CPU breakage = %v, want ~1", got)
+		}
+	}
+}
+
+func TestBreakageInfiniteWhenNoSlot(t *testing.T) {
+	// 926*(1-0.98) = 18.5 spare CPUs; a 32-CPU job never fits.
+	if got := Breakage(926, 0.98, 32); !math.IsInf(got, 1) {
+		t.Fatalf("breakage = %v, want +Inf", got)
+	}
+}
+
+func TestMakespanLaw(t *testing.T) {
+	// Ross, 123 peta-cycles: 123e15/(1436*0.588e9*0.369) = 3.95e5 s ~ 110h.
+	got := Makespan(123, 1436, 0.588, 0.631)
+	if math.Abs(got/3600-110) > 2 {
+		t.Fatalf("Ross 123Pc makespan = %.1fh, want ~110h", got/3600)
+	}
+	// Blue Pacific, 123 Pc: 123e15/(926*0.369e9*0.093) ~ 1075h; the paper
+	// observed 979-1089h.
+	got = Makespan(123, 926, 0.369, 0.907)
+	if math.Abs(got/3600-1075) > 15 {
+		t.Fatalf("BP 123Pc makespan = %.1fh, want ~1075h", got/3600)
+	}
+}
+
+func TestMakespanScalesLinearly(t *testing.T) {
+	a := Makespan(10, 1000, 1, 0.5)
+	b := Makespan(20, 1000, 1, 0.5)
+	if math.Abs(b-2*a) > 1e-6 {
+		t.Fatalf("makespan not linear in P: %v vs %v", a, b)
+	}
+}
+
+func TestMakespanFullUtilizationInfinite(t *testing.T) {
+	if !math.IsInf(Makespan(1, 100, 1, 1.0), 1) {
+		t.Fatal("U=1 should give infinite makespan")
+	}
+}
+
+func TestFittedMakespan(t *testing.T) {
+	base := Makespan(30.1, 4662, 0.262, 0.79)
+	want := 5256 + 1.16*base
+	if got := FittedMakespan(30.1, 4662, 0.262, 0.79); got != want {
+		t.Fatalf("fitted = %v, want %v", got, want)
+	}
+}
+
+func TestAvgSpareCPUs(t *testing.T) {
+	// The paper: Blue Pacific averages ~90 spare CPUs ("the average
+	// number of spare CPUs is only about 90").
+	if got := AvgSpareCPUs(926, 0.907); math.Abs(got-86.1) > 0.1 {
+		t.Fatalf("BP spare = %v, want 86.1", got)
+	}
+}
+
+func TestLinearFitRecoversLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5256 + 1.16*x*1e5
+	}
+	a, b, r2, err := LinearFit(xs2(xs, 1e5), ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-5256) > 1e-6 || math.Abs(b-1.16) > 1e-9 || r2 < 0.999999 {
+		t.Fatalf("fit = %v + %vx (r2=%v)", a, b, r2)
+	}
+}
+
+func xs2(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * f
+	}
+	return out
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, _, _, err := LinearFit([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+// Property: breakage is always >= 1 (when finite) and decreases weakly as
+// job size divides the spare pool more evenly.
+func TestQuickBreakageAtLeastOne(t *testing.T) {
+	f := func(nRaw uint16, uRaw uint8, cRaw uint8) bool {
+		n := int(nRaw)%8000 + 100
+		u := float64(uRaw%90) / 100
+		c := int(cRaw)%64 + 1
+		b := Breakage(n, u, c)
+		if math.IsInf(b, 1) {
+			return true
+		}
+		return b >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

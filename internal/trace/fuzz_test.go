@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the SWF parser: it must never panic,
+// and anything it accepts must produce structurally valid jobs that
+// survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("; Computer: X\n1 0 -1 100 4 -1 -1 4 200 -1 1 1 1 -1 -1 -1 -1 -1\n")
+	f.Add("")
+	f.Add(";\n;\n;\n")
+	f.Add("1 2 3\n")
+	f.Add("1 0 -1 100 4 -1 -1 4 200 -1 1 1 1 -1 -1 -1 -1 -1 99 99\n")
+	f.Add("-1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n")
+	f.Add("9223372036854775807 0 -1 1 1 -1 -1 1 1 -1 1 1 1 -1 -1 -1 -1 -1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		h, jobs, err := Read(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, j := range jobs {
+			if j.CPUs < 1 || j.Runtime < 0 || j.Estimate < j.Runtime {
+				t.Fatalf("accepted structurally invalid job: %v", j)
+			}
+		}
+		// Round trip whatever was accepted.
+		var buf bytes.Buffer
+		if err := Write(&buf, h, jobs); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		_, again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(again) != len(jobs) {
+			t.Fatalf("round trip changed job count: %d -> %d", len(jobs), len(again))
+		}
+	})
+}

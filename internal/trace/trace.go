@@ -1,0 +1,160 @@
+// Package trace reads and writes job logs in the Standard Workload Format
+// (SWF), the archive format of the Parallel Workloads Archive that grew
+// out of exactly the kind of supercomputer logs the paper simulates. Using
+// SWF makes the synthetic logs inspectable with standard tooling and lets
+// real traces be fed to the simulator.
+//
+// The subset implemented covers the fields the simulator uses:
+//
+//	1 job id | 2 submit | 4 run time | 5 procs | 9 requested time |
+//	12 user id | 13 group id
+//
+// All other fields are written as -1 and ignored on read, per the SWF
+// convention for missing data.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"interstitial/internal/job"
+	"interstitial/internal/sim"
+)
+
+// Header carries the SWF comment-header fields we preserve.
+type Header struct {
+	Computer string
+	Note     string
+	MaxProcs int
+}
+
+// Write emits jobs as an SWF stream. Jobs should be in submit order; IDs,
+// users, and groups are preserved (users/groups as numeric ids, per SWF).
+func Write(w io.Writer, h Header, jobs []*job.Job) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "; Computer: %s\n", h.Computer)
+	if h.Note != "" {
+		fmt.Fprintf(bw, "; Note: %s\n", h.Note)
+	}
+	if h.MaxProcs > 0 {
+		fmt.Fprintf(bw, "; MaxProcs: %d\n", h.MaxProcs)
+	}
+	fmt.Fprintf(bw, ";\n")
+	users := newIDMap()
+	groups := newIDMap()
+	for _, j := range jobs {
+		// Fields: id submit wait runtime procs cpuAvg memAvg reqProcs
+		// reqTime reqMem status userID groupID app queue part prevJob think
+		wait := int64(-1)
+		if j.Start >= 0 {
+			wait = int64(j.Start - j.Submit)
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d %d -1 -1 %d %d -1 1 %d %d -1 -1 -1 -1 -1\n",
+			j.ID, j.Submit, wait, j.Runtime, j.CPUs, j.CPUs, j.Estimate,
+			users.id(j.User), groups.id(j.Group)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// idMap interns strings as stable small integers.
+type idMap struct {
+	ids  map[string]int
+	next int
+}
+
+func newIDMap() *idMap { return &idMap{ids: map[string]int{}, next: 1} }
+
+func (m *idMap) id(s string) int {
+	if id, ok := m.ids[s]; ok {
+		return id
+	}
+	m.ids[s] = m.next
+	m.next++
+	return m.ids[s]
+}
+
+// Read parses an SWF stream into jobs (in file order). Start/finish fields
+// are left unset: a trace is a workload description, not a schedule.
+func Read(r io.Reader) (Header, []*job.Job, error) {
+	var h Header
+	var jobs []*job.Job
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			parseHeaderLine(&h, line)
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 13 {
+			return h, nil, fmt.Errorf("trace: line %d: %d fields, want >= 13", lineNo, len(f))
+		}
+		id, err := atoi(f[0])
+		if err != nil {
+			return h, nil, fmt.Errorf("trace: line %d: job id: %w", lineNo, err)
+		}
+		submit, err := atoi(f[1])
+		if err != nil {
+			return h, nil, fmt.Errorf("trace: line %d: submit: %w", lineNo, err)
+		}
+		runtime, err := atoi(f[3])
+		if err != nil {
+			return h, nil, fmt.Errorf("trace: line %d: runtime: %w", lineNo, err)
+		}
+		procs, err := atoi(f[4])
+		if err != nil {
+			return h, nil, fmt.Errorf("trace: line %d: procs: %w", lineNo, err)
+		}
+		if procs <= 0 {
+			// SWF uses -1 for unknown; fall back to requested procs.
+			procs, _ = atoi(f[7])
+		}
+		reqTime, err := atoi(f[8])
+		if err != nil {
+			return h, nil, fmt.Errorf("trace: line %d: requested time: %w", lineNo, err)
+		}
+		userID := f[11]
+		groupID := f[12]
+		if procs <= 0 || runtime < 0 {
+			continue // unusable record, skip like most SWF consumers do
+		}
+		est := reqTime
+		if est < runtime {
+			est = runtime
+		}
+		j := job.New(int(id), "u"+userID, "g"+groupID, int(procs),
+			sim.Time(runtime), sim.Time(est), sim.Time(submit))
+		jobs = append(jobs, j)
+	}
+	if err := sc.Err(); err != nil {
+		return h, nil, err
+	}
+	return h, jobs, nil
+}
+
+func atoi(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+
+func parseHeaderLine(h *Header, line string) {
+	body := strings.TrimSpace(strings.TrimPrefix(line, ";"))
+	switch {
+	case strings.HasPrefix(body, "Computer:"):
+		h.Computer = strings.TrimSpace(strings.TrimPrefix(body, "Computer:"))
+	case strings.HasPrefix(body, "Note:"):
+		h.Note = strings.TrimSpace(strings.TrimPrefix(body, "Note:"))
+	case strings.HasPrefix(body, "MaxProcs:"):
+		if n, err := atoi(strings.TrimSpace(strings.TrimPrefix(body, "MaxProcs:"))); err == nil {
+			h.MaxProcs = int(n)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"interstitial/internal/job"
+	"interstitial/internal/sim"
+	"interstitial/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := []*job.Job{
+		job.New(1, "alice", "phys", 32, 458, 21600, 100),
+		job.New(2, "bob", "chem", 128, 3600, 43200, 250),
+		job.New(3, "alice", "phys", 1, 30, 3600, 400),
+	}
+	var buf bytes.Buffer
+	h := Header{Computer: "Blue Mountain", Note: "synthetic", MaxProcs: 4662}
+	if err := Write(&buf, h, in); err != nil {
+		t.Fatal(err)
+	}
+	gotH, out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH.Computer != "Blue Mountain" || gotH.MaxProcs != 4662 || gotH.Note != "synthetic" {
+		t.Fatalf("header = %+v", gotH)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("jobs = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		a, b := in[i], out[i]
+		if a.ID != b.ID || a.CPUs != b.CPUs || a.Runtime != b.Runtime || a.Estimate != b.Estimate || a.Submit != b.Submit {
+			t.Fatalf("job %d mismatch: %v vs %v", i, a, b)
+		}
+	}
+	// Same user maps to the same SWF numeric id: alice's two jobs agree.
+	if out[0].User != out[2].User {
+		t.Fatalf("user identity lost: %q vs %q", out[0].User, out[2].User)
+	}
+	if out[0].User == out[1].User {
+		t.Fatal("distinct users collapsed")
+	}
+}
+
+func TestRoundTripWholeSyntheticLog(t *testing.T) {
+	p := workload.Ross()
+	p.Jobs = 500
+	p.Days = 5
+	jobs := workload.Generate(p, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{Computer: "Ross"}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	_, out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(jobs) {
+		t.Fatalf("round trip lost jobs: %d vs %d", len(out), len(jobs))
+	}
+	for i := range jobs {
+		if jobs[i].Runtime != out[i].Runtime || jobs[i].CPUs != out[i].CPUs {
+			t.Fatalf("job %d corrupted", i)
+		}
+	}
+}
+
+func TestWriteRecordsWait(t *testing.T) {
+	j := job.New(1, "u", "g", 4, 100, 200, 50)
+	j.Start = 80
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{}, []*job.Job{j}); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "1 ") {
+			f := strings.Fields(line)
+			if f[2] != "30" {
+				t.Fatalf("wait field = %s, want 30", f[2])
+			}
+			return
+		}
+	}
+	t.Fatal("job line not found")
+}
+
+func TestReadSkipsUnusableRecords(t *testing.T) {
+	const in = `; Computer: X
+1 0 -1 100 4 -1 -1 4 200 -1 1 1 1 -1 -1 -1 -1 -1
+2 5 -1 -1 4 -1 -1 4 200 -1 1 1 1 -1 -1 -1 -1 -1
+3 9 -1 100 -1 -1 -1 -1 200 -1 1 1 1 -1 -1 -1 -1 -1
+`
+	_, jobs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 2 has unknown runtime, record 3 unknown procs: both skipped.
+	if len(jobs) != 1 || jobs[0].ID != 1 {
+		t.Fatalf("jobs = %v", jobs)
+	}
+}
+
+func TestReadFallsBackToRequestedProcs(t *testing.T) {
+	const in = `4 0 -1 100 -1 -1 -1 16 200 -1 1 1 1 -1 -1 -1 -1 -1
+`
+	_, jobs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].CPUs != 16 {
+		t.Fatalf("requested-procs fallback failed: %v", jobs)
+	}
+}
+
+func TestReadClampsEstimateToRuntime(t *testing.T) {
+	// Requested time below actual runtime: est clamps up so the job is
+	// simulable (would be killed on a real machine).
+	const in = `1 0 -1 500 4 -1 -1 4 100 -1 1 1 1 -1 -1 -1 -1 -1
+`
+	_, jobs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Estimate != sim.Time(500) {
+		t.Fatalf("estimate = %d, want clamped to 500", jobs[0].Estimate)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("1 2 3\n")); err == nil {
+		t.Fatal("short line accepted")
+	}
+	if _, _, err := Read(strings.NewReader("x 0 -1 100 4 -1 -1 4 200 -1 1 1 1 -1 -1 -1 -1 -1\n")); err == nil {
+		t.Fatal("non-numeric id accepted")
+	}
+}
+
+func TestReadEmptyAndComments(t *testing.T) {
+	_, jobs, err := Read(strings.NewReader("; just a header\n;\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatal("jobs from empty input")
+	}
+}

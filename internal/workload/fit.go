@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"interstitial/internal/job"
+	"interstitial/internal/machine"
+)
+
+// FitProfile estimates a generator Profile from an observed job log (for
+// example one read from a real machine's SWF trace), so a site can
+// synthesize arbitrarily many statistically similar logs for interstitial
+// what-if studies. The fit matches the moments the interstitial results
+// depend on: job count and span, offered load, runtime median/mean, the
+// small/large size split, the long-runtime tail, and arrival burstiness.
+// It returns an error when the log is too small to fit.
+func FitProfile(jobs []*job.Job, m machine.Config) (Profile, error) {
+	if len(jobs) < 100 {
+		return Profile{}, fmt.Errorf("workload: need >= 100 jobs to fit, got %d", len(jobs))
+	}
+	if m.CPUs < 1 {
+		return Profile{}, fmt.Errorf("workload: machine has %d CPUs", m.CPUs)
+	}
+	var first, last = jobs[0].Submit, jobs[0].Submit
+	users := map[string]bool{}
+	groups := map[string]bool{}
+	var rts []float64
+	var area, rtSum float64
+	small := 0
+	maxCPU := 1
+	longJobs := 0
+	for _, j := range jobs {
+		if j.Submit < first {
+			first = j.Submit
+		}
+		if j.Submit > last {
+			last = j.Submit
+		}
+		users[j.User] = true
+		groups[j.Group] = true
+		rts = append(rts, float64(j.Runtime))
+		rtSum += float64(j.Runtime)
+		area += j.CPUSeconds()
+		if j.CPUs <= 32 {
+			small++
+		}
+		if j.CPUs > maxCPU {
+			maxCPU = j.CPUs
+		}
+		if j.Runtime > 24*3600 {
+			longJobs++
+		}
+	}
+	span := float64(last - first)
+	if span <= 0 {
+		return Profile{}, fmt.Errorf("workload: all jobs submitted at the same instant")
+	}
+	sort.Float64s(rts)
+	medianRT := rts[len(rts)/2]
+	meanRT := rtSum / float64(len(jobs))
+	if medianRT < 1 {
+		medianRT = 1
+	}
+	if meanRT <= medianRT {
+		meanRT = medianRT * 1.2
+	}
+	offered := area / (span * float64(m.CPUs))
+	if offered >= 0.98 {
+		offered = 0.98
+	}
+	if offered <= 0.02 {
+		return Profile{}, fmt.Errorf("workload: offered load %.3f too low to be a machine log", offered)
+	}
+
+	// Map the index of dispersion onto the generator's Burstiness knob;
+	// the generator produces dispersion ~2 at 0 (diurnal cycles alone)
+	// up to ~30 at 1.
+	disp := dispersionOf(jobs)
+	burst := (disp - 2) / 28
+	if burst < 0 {
+		burst = 0
+	}
+	if burst > 1 {
+		burst = 1
+	}
+
+	p := Profile{
+		Machine:        m,
+		Days:           span / 86400,
+		Jobs:           len(jobs),
+		TargetUtil:     offered,
+		Users:          len(users),
+		Groups:         len(groups),
+		MaxCPUFrac:     math.Min(1, float64(maxCPU)/float64(m.CPUs)),
+		SizeSkew:       1.0,
+		TailCPUMin:     16,
+		SmallWeight:    float64(small) / float64(len(jobs)),
+		RTSizeCorr:     0.25,
+		RuntimeMedianH: medianRT / 3600,
+		RuntimeMeanH:   meanRT / 3600,
+		LongJobFrac:    float64(longJobs) / float64(len(jobs)),
+		Burstiness:     burst,
+	}
+	if p.LongJobFrac > 0 {
+		p.LongJobMaxHours = rts[len(rts)-1] / 3600
+	}
+	if p.Users < 1 {
+		p.Users = 1
+	}
+	if p.Groups < 1 {
+		p.Groups = 1
+	}
+	if p.SmallWeight < 0.05 {
+		p.SmallWeight = 0.05
+	}
+	if p.SmallWeight > 0.95 {
+		p.SmallWeight = 0.95
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// dispersionOf computes the 6h-bucket index of dispersion of arrivals.
+func dispersionOf(jobs []*job.Job) float64 {
+	counts := map[int64]int{}
+	var lo, hi int64
+	lo = int64(jobs[0].Submit) / (6 * 3600)
+	hi = lo
+	for _, j := range jobs {
+		b := int64(j.Submit) / (6 * 3600)
+		counts[b]++
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	n := hi - lo + 1
+	if n < 2 {
+		return 0
+	}
+	mean := float64(len(jobs)) / float64(n)
+	var varsum float64
+	for b := lo; b <= hi; b++ {
+		d := float64(counts[b]) - mean
+		varsum += d * d
+	}
+	return varsum / float64(n) / mean
+}

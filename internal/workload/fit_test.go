@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"interstitial/internal/job"
+	"interstitial/internal/machine"
+	"interstitial/internal/sim"
+)
+
+func TestFitProfileRoundTrip(t *testing.T) {
+	// Generate a log from a known profile, fit a profile back from it,
+	// and check the fitted parameters recover the load-bearing moments.
+	orig := BlueMountain()
+	orig.Days = 20
+	orig.Jobs = 2000
+	jobs := Generate(orig, 31)
+	fit, err := FitProfile(jobs, orig.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Jobs != len(jobs) {
+		t.Fatalf("jobs = %d", fit.Jobs)
+	}
+	if math.Abs(fit.Days-orig.Days) > orig.Days*0.1 {
+		t.Fatalf("days = %.1f, want ~%.1f", fit.Days, orig.Days)
+	}
+	// Offered load of the generated log equals the original target.
+	if math.Abs(fit.TargetUtil-orig.TargetUtil) > 0.05 {
+		t.Fatalf("target util = %.3f, want ~%.3f", fit.TargetUtil, orig.TargetUtil)
+	}
+	// Runtime medians are estimated from the very samples generated.
+	var rts []float64
+	for _, j := range jobs {
+		rts = append(rts, j.Runtime.HoursF())
+	}
+	if med := median(rts); math.Abs(fit.RuntimeMedianH-med) > med*0.05 {
+		t.Fatalf("fit median %.2fh vs sample median %.2fh", fit.RuntimeMedianH, med)
+	}
+	if fit.Burstiness <= 0 {
+		t.Fatalf("burstiness = %v; the source log is bursty", fit.Burstiness)
+	}
+
+	// And the refitted profile must generate a *valid* log whose offered
+	// load lands near the fit target.
+	clone := Generate(fit, 32)
+	var area float64
+	for _, j := range clone {
+		area += j.CPUSeconds()
+	}
+	offered := area / (float64(fit.Machine.CPUs) * float64(fit.Duration()))
+	if math.Abs(offered-fit.TargetUtil) > 0.02 {
+		t.Fatalf("clone offered %.3f, want %.3f", offered, fit.TargetUtil)
+	}
+}
+
+func TestFitProfileErrors(t *testing.T) {
+	m := machine.BlueMountain()
+	if _, err := FitProfile(nil, m); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	var tiny []*job.Job
+	for i := 0; i < 50; i++ {
+		tiny = append(tiny, job.New(i+1, "u", "g", 1, 60, 60, sim.Time(i)))
+	}
+	if _, err := FitProfile(tiny, m); err == nil {
+		t.Fatal("50-job log accepted")
+	}
+	// Same-instant submissions.
+	var burst []*job.Job
+	for i := 0; i < 200; i++ {
+		burst = append(burst, job.New(i+1, "u", "g", 1, 60, 60, 0))
+	}
+	if _, err := FitProfile(burst, m); err == nil {
+		t.Fatal("zero-span log accepted")
+	}
+	// Negligible load: not a machine log.
+	var idle []*job.Job
+	for i := 0; i < 200; i++ {
+		idle = append(idle, job.New(i+1, "u", "g", 1, 1, 1, sim.Time(i)*86400))
+	}
+	if _, err := FitProfile(idle, m); err == nil {
+		t.Fatal("near-zero-load log accepted")
+	}
+	if _, err := FitProfile(burst, machine.Config{Name: "x", CPUs: 0}); err == nil {
+		t.Fatal("zero-CPU machine accepted")
+	}
+}

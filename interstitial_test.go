@@ -1,0 +1,173 @@
+package interstitial_test
+
+import (
+	"math"
+	"testing"
+
+	"interstitial"
+)
+
+// small returns a shrunken Blue Mountain for fast end-to-end tests.
+func small() interstitial.Machine {
+	m := interstitial.BlueMountain()
+	m.Workload.Days /= 8
+	m.Workload.Jobs /= 8
+	return m
+}
+
+func TestMachineByName(t *testing.T) {
+	for _, name := range []string{"Ross", "Blue Mountain", "Blue Pacific"} {
+		m, err := interstitial.MachineByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name != name {
+			t.Fatalf("got %q", m.Name)
+		}
+	}
+	if _, err := interstitial.MachineByName("Red Storm"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestEndToEndNative(t *testing.T) {
+	m := small()
+	log := interstitial.CalibratedLog(m, 1)
+	util := interstitial.RunNative(m, log)
+	// The 1/8-scale log cannot always reach the full-scale target (the
+	// weekend rate dips weigh proportionally more on a 10-day horizon);
+	// exact calibration is asserted at full scale in internal/testbed.
+	if math.Abs(util-m.Workload.TargetUtil) > 0.09 {
+		t.Fatalf("calibrated utilization %.3f, want ~%.3f", util, m.Workload.TargetUtil)
+	}
+}
+
+func TestEndToEndProject(t *testing.T) {
+	m := small()
+	log := interstitial.CalibratedLog(m, 2)
+	interstitial.RunNative(m, log)
+	p := interstitial.ProjectSpec{PetaCycles: 1, KJobs: 500, CPUsPerJob: 32}
+	res, err := interstitial.RunProject(m, log, p, m.Workload.Duration()/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 500 {
+		t.Fatalf("project ran %d jobs", len(res.Jobs))
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("non-positive makespan")
+	}
+	// The project must beat the sequential bound and respect theory
+	// loosely: within [0.2x, 30x] of the ideal law (the ideal assumes
+	// constant utilization; real logs vary wildly).
+	ideal := interstitial.TheoreticalMakespan(m, p.PetaCycles)
+	ratio := res.Makespan.Seconds() / ideal
+	if ratio < 0.2 || ratio > 30 {
+		t.Fatalf("makespan %.1fh vs ideal %.1fh: ratio %.2f out of band", res.Makespan.HoursF(), ideal/3600, ratio)
+	}
+}
+
+func TestEndToEndContinualRaisesUtilization(t *testing.T) {
+	m := small()
+	log := interstitial.CalibratedLog(m, 3)
+	base := interstitial.RunNative(m, log)
+	spec := interstitial.JobSpec{CPUs: 32, Runtime: m.Seconds1GHz(120)}
+	res, err := interstitial.RunContinual(m, log, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverallUtil < base+0.1 {
+		t.Fatalf("continual interstitial raised utilization only %.3f -> %.3f", base, res.OverallUtil)
+	}
+	if math.Abs(res.NativeUtil-base) > 0.02 {
+		t.Fatalf("native utilization moved %.3f -> %.3f", base, res.NativeUtil)
+	}
+	if len(res.Jobs) == 0 {
+		t.Fatal("no interstitial jobs ran")
+	}
+}
+
+func TestEndToEndUtilCapMonotonic(t *testing.T) {
+	m := small()
+	log := interstitial.CalibratedLog(m, 4)
+	interstitial.RunNative(m, log)
+	spec := interstitial.JobSpec{CPUs: 32, Runtime: m.Seconds1GHz(120)}
+	var prev int
+	for i, cap := range []float64{0.90, 0.95, 0.98, 0} {
+		res, err := interstitial.RunContinual(m, log, spec, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && len(res.Jobs) < prev {
+			t.Fatalf("cap %.2f admitted fewer jobs (%d) than tighter cap (%d)", cap, len(res.Jobs), prev)
+		}
+		prev = len(res.Jobs)
+	}
+}
+
+func TestOmniscientNeverTouchesNatives(t *testing.T) {
+	m := small()
+	log := interstitial.CalibratedLog(m, 5)
+	interstitial.RunNative(m, log)
+	// Snapshot native starts; omniscient planning must not mutate them.
+	starts := make([]interstitial.Time, len(log))
+	for i, j := range log {
+		starts[i] = j.Start
+	}
+	p := interstitial.ProjectSpec{PetaCycles: 2, KJobs: 1000, CPUsPerJob: 16}
+	ms, err := interstitial.PlanOmniscient(m, log, p, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms <= 0 {
+		t.Fatal("bad makespan")
+	}
+	for i, j := range log {
+		if j.Start != starts[i] {
+			t.Fatal("omniscient packing mutated native records")
+		}
+	}
+}
+
+func TestBreakageFacade(t *testing.T) {
+	bp := interstitial.BluePacific()
+	if b := interstitial.Breakage(bp, 32); math.Abs(b-1.346) > 0.01 {
+		t.Fatalf("BP 32-CPU breakage = %.3f, want 1.346 (paper)", b)
+	}
+}
+
+func TestUtilizationFacade(t *testing.T) {
+	m := small()
+	log := interstitial.CalibratedLog(m, 6)
+	interstitial.RunNative(m, log)
+	u := interstitial.Utilization(m, log, 0, m.Workload.Duration())
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestEndToEndPreemptiveContinual(t *testing.T) {
+	m := small()
+	log := interstitial.CalibratedLog(m, 8)
+	interstitial.RunNative(m, log)
+	spec := interstitial.JobSpec{CPUs: 32, Runtime: m.Seconds1GHz(960)}
+	plain, err := interstitial.RunContinual(m, log, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := interstitial.RunContinualOpts(m, log, spec, interstitial.ContinualOpts{
+		Preempt: &interstitial.Preemption{CheckpointEvery: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.KilledJobs != 0 {
+		t.Fatal("plain run reported kills")
+	}
+	if pre.KilledJobs == 0 {
+		t.Fatal("preemptive run killed nothing; long jobs should block heads sometimes")
+	}
+	if math.Abs(pre.NativeUtil-plain.NativeUtil) > 0.03 {
+		t.Fatalf("native util moved %.3f -> %.3f under preemption", plain.NativeUtil, pre.NativeUtil)
+	}
+}
