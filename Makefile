@@ -16,11 +16,17 @@ test:
 cover:
 	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
 
-# One iteration of every benchmark (each regenerates a scaled-down
-# table/figure); use BENCHTIME=5x etc. for more.
+# Every benchmark (each regenerates a scaled-down table/figure), run
+# BENCHCOUNT times with allocation stats, saved to the first free
+# BENCH_<n>.txt so before/after comparisons (benchstat BENCH_1.txt
+# BENCH_2.txt) survive the runs that produced them. Use BENCHTIME=5x
+# etc. for longer iterations.
 BENCHTIME ?= 1x
+BENCHCOUNT ?= 3
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem ./...
+	@n=1; while [ -e BENCH_$$n.txt ]; do n=$$((n+1)); done; \
+	echo "writing BENCH_$$n.txt"; \
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -count $(BENCHCOUNT) ./... | tee BENCH_$$n.txt
 
 fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/trace/
@@ -37,4 +43,4 @@ examples:
 		echo "=== examples/$$e ==="; $(GO) run ./examples/$$e || exit 1; done
 
 clean:
-	rm -f cover.out
+	rm -f cover.out BENCH_*.txt

@@ -11,10 +11,12 @@ package interstitial_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"interstitial"
 	"interstitial/internal/experiments"
+	"interstitial/internal/sim"
 )
 
 // benchOpts shrinks the logs ~20x; each bench iteration still exercises
@@ -216,6 +218,71 @@ func BenchmarkOmniscientPacking(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSimKernel measures the raw event loop: a self-rescheduling
+// event chain with no scheduler work, so ns/op and allocs/op isolate the
+// heap + free-list cost per event. events/sec is the headline metric.
+func BenchmarkSimKernel(b *testing.B) {
+	const eventsPerRun = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.New()
+		var tick func(*sim.Engine)
+		n := 0
+		tick = func(e *sim.Engine) {
+			n++
+			if n < eventsPerRun {
+				e.ScheduleAfter(1, sim.EventFunc(tick))
+			}
+		}
+		e.Schedule(0, sim.EventFunc(tick))
+		e.Run()
+		if e.Executed() != eventsPerRun {
+			b.Fatalf("executed %d events, want %d", e.Executed(), eventsPerRun)
+		}
+	}
+	b.ReportMetric(float64(b.N)*eventsPerRun/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkSimKernelChurn stresses the heap with many in-flight events and
+// cancellations — the shape the engine's timers and passes produce.
+func BenchmarkSimKernelChurn(b *testing.B) {
+	const live = 4096
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.New()
+		e.Grow(live)
+		hs := make([]sim.Handle, live)
+		for j := 0; j < live; j++ {
+			hs[j] = e.Schedule(sim.Time((j*2654435761)%100000), sim.EventFunc(func(*sim.Engine) {}))
+		}
+		for j := 0; j < live; j += 2 {
+			hs[j].Cancel()
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkLabParallel exercises the warmup path: Precompute fans a
+// table's whole working set (three baselines plus four continual runs)
+// across the worker pool before anything is rendered.
+func BenchmarkLabParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchOpts())
+		spec := interstitial.JobSpec{CPUs: 32, Runtime: lab.System("Blue Mountain").Seconds1GHz(120)}
+		lab.Precompute(
+			experiments.BaselineKey("Blue Mountain"),
+			experiments.BaselineKey("Blue Pacific"),
+			experiments.BaselineKey("Ross"),
+			experiments.ContinualKey("Blue Mountain", spec, 0),
+			experiments.ContinualKey("Blue Mountain", spec, 90),
+			experiments.ContinualKey("Blue Mountain", spec, 95),
+			experiments.ContinualKey("Blue Mountain", spec, 98),
+		)
+		renderTo(b, experiments.Table8Limited(lab))
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 // --- ablation benchmarks (beyond-the-paper studies) ---

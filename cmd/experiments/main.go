@@ -2,7 +2,11 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-scale F] [-reps N] [-samples N] [-csv dir] [names...]
+//	experiments [-seed N] [-scale F] [-reps N] [-samples N] [-workers N] [-csv dir] [names...]
+//
+// Experiments run concurrently on a worker pool bounded by -workers
+// (default: GOMAXPROCS); output is rendered in evaluation order and is
+// byte-identical for every worker count.
 //
 // With no names, every paper experiment runs in evaluation order. Use
 // "ablations" for all beyond-the-paper studies, "extensions" for every
@@ -29,6 +33,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]; 1.0 = paper scale")
 	reps := flag.Int("reps", 0, "random project starts per cell (default 20)")
 	samples := flag.Int("samples", 0, "short-term windows sampled from continual runs (default 500)")
+	workers := flag.Int("workers", 0, "parallelism across and within experiments (default GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write each experiment's data points as <dir>/<name>.csv")
 	list := flag.Bool("list", false, "print the valid experiment names and exit")
 	flag.Parse()
@@ -45,7 +50,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Samples: *samples}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Samples: *samples, Workers: *workers}
 	reg := experiments.NewRegistry(experiments.NewLab(opts))
 
 	names := flag.Args()
@@ -63,25 +68,32 @@ func main() {
 		names = experiments.ExtensionNames()
 	}
 
-	for _, name := range names {
-		t0 := time.Now()
-		r, err := reg.Run(strings.ToLower(name))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
-		}
-		if err := r.Render(os.Stdout); err != nil {
+	for i, name := range names {
+		names[i] = strings.ToLower(name)
+	}
+	// Compute every experiment concurrently (shared artifacts coalesce in
+	// the Lab), then render in evaluation order so the output stream is
+	// identical to a serial run.
+	t0 := time.Now()
+	results, err := reg.RunAll(names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	for i, name := range names {
+		if err := results[i].Render(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: rendering %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		if *csvDir != "" {
-			if err := writeCSV(*csvDir, name, r); err != nil {
+			if err := writeCSV(*csvDir, name, results[i]); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: csv %s: %v\n", name, err)
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("  [%s in %.1fs]\n\n", name, time.Since(t0).Seconds())
+		fmt.Printf("  [%s]\n\n", name)
 	}
+	fmt.Printf("  [%d experiments in %.1fs]\n", len(names), time.Since(t0).Seconds())
 }
 
 // writeCSV dumps an experiment's data points when it supports CSV export.

@@ -9,6 +9,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"interstitial/internal/job"
 	"interstitial/internal/machine"
@@ -39,6 +40,14 @@ type Simulator struct {
 
 	finishEvents map[int]sim.Handle // running job ID -> finish event
 
+	// pending holds submitted-but-not-yet-arrived jobs sorted by Submit
+	// time (stable in submission order). A single injector event walks it,
+	// so a log of N jobs costs one pending slice instead of N closures and
+	// N heap items.
+	pending  []*job.Job
+	injectAt sim.Time
+	inject   sim.Handle
+
 	passPending bool
 	timedPassAt sim.Time
 	timedPass   sim.Handle
@@ -52,6 +61,7 @@ func New(cfg machine.Config, pol sched.Policy) *Simulator {
 		disp:         sched.NewDispatcher(pol),
 		queue:        sched.NewQueue(),
 		finishEvents: make(map[int]sim.Handle),
+		injectAt:     sim.Infinity,
 		timedPassAt:  sim.Infinity,
 	}
 }
@@ -72,18 +82,63 @@ func (s *Simulator) Now() sim.Time { return s.eng.Now() }
 // completion order.
 func (s *Simulator) Finished() []*job.Job { return s.finished }
 
-// Submit schedules j's submission at j.Submit. Call before Run.
+// Submit schedules the jobs' submissions at their Submit times. Rather
+// than wrapping every job in its own closure and heap event, the jobs are
+// merged into a sorted pending stream drained by a single self-rescheduling
+// injector event — the per-job cost is one slice slot. The queue order at
+// any instant is identical to per-job events: jobs arriving at the same
+// time are pushed in submission-call order (the sort is stable), and the
+// coalesced scheduling pass still runs once after all arrivals.
 func (s *Simulator) Submit(jobs ...*job.Job) {
-	for _, j := range jobs {
-		j := j
-		if j.Submit < s.eng.Now() {
-			panic(fmt.Sprintf("engine: job %d submitted at %d, before now %d", j.ID, j.Submit, s.eng.Now()))
-		}
-		s.eng.SchedulePrio(j.Submit, prioSubmit, sim.EventFunc(func(*sim.Engine) {
-			s.queue.Push(j)
-			s.requestPass()
-		}))
+	if len(jobs) == 0 {
+		return
 	}
+	now := s.eng.Now()
+	for _, j := range jobs {
+		if j.Submit < now {
+			panic(fmt.Sprintf("engine: job %d submitted at %d, before now %d", j.ID, j.Submit, now))
+		}
+	}
+	s.pending = append(s.pending, jobs...)
+	sort.SliceStable(s.pending, func(i, k int) bool { return s.pending[i].Submit < s.pending[k].Submit })
+	// Finish events are ~1:1 with submissions; pre-size the heap for them.
+	s.eng.Grow(len(jobs))
+	s.scheduleInject()
+}
+
+// scheduleInject (re)arms the injector for the earliest pending submission.
+func (s *Simulator) scheduleInject() {
+	if len(s.pending) == 0 {
+		s.injectAt = sim.Infinity
+		return
+	}
+	at := s.pending[0].Submit
+	if at == s.injectAt {
+		return // already armed at the right instant
+	}
+	s.inject.Cancel()
+	s.injectAt = at
+	s.inject = s.eng.SchedulePrio(at, prioSubmit, sim.EventFunc(func(*sim.Engine) {
+		s.injectPending()
+	}))
+}
+
+// injectPending moves every pending job whose time has come onto the
+// native queue, requests the coalesced pass, and re-arms the injector.
+func (s *Simulator) injectPending() {
+	now := s.eng.Now()
+	i := 0
+	for i < len(s.pending) && s.pending[i].Submit <= now {
+		s.queue.Push(s.pending[i])
+		s.pending[i] = nil
+		i++
+	}
+	if i > 0 {
+		s.pending = s.pending[i:]
+		s.requestPass()
+	}
+	s.injectAt = sim.Infinity
+	s.scheduleInject()
 }
 
 // SubmitNow enqueues j at the current instant (used by controllers that

@@ -324,3 +324,52 @@ func TestCheckInvariantsCatchesBrokenJob(t *testing.T) {
 		t.Fatal("corrupted job record passed invariants")
 	}
 }
+
+// TestMultiBatchSubmit checks the sorted-injection path when Submit is
+// called several times with interleaved, unsorted submit times: every job
+// must still start in submit-time order under FCFS.
+func TestMultiBatchSubmit(t *testing.T) {
+	s := New(cfg(1), sched.NewFCFS())
+	a := job.New(1, "u", "g", 1, 10, 10, 30)
+	b := job.New(2, "u", "g", 1, 10, 10, 5)
+	c := job.New(3, "u", "g", 1, 10, 10, 20)
+	d := job.New(4, "u", "g", 1, 10, 10, 0)
+	s.Submit(a, b) // unsorted within the batch
+	s.Submit(c, d) // second batch re-arms the injector earlier
+	s.Run()
+	for _, j := range []*job.Job{a, b, c, d} {
+		if j.State != job.Finished {
+			t.Fatalf("job %d state = %v", j.ID, j.State)
+		}
+	}
+	// One CPU, FCFS: service order follows submit time 0,5,20,30.
+	order := []*job.Job{d, b, c, a}
+	for i := 1; i < len(order); i++ {
+		if order[i].Start < order[i-1].Finish {
+			t.Fatalf("job %d started at %d before job %d finished at %d",
+				order[i].ID, order[i].Start, order[i-1].ID, order[i-1].Finish)
+		}
+	}
+	if d.Start != 0 || b.Start != 10 {
+		t.Fatalf("starts d=%d b=%d, want 0 and 10", d.Start, b.Start)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitTieOrderIsCallOrder pins the determinism contract for equal
+// submit times: jobs submitted at the same instant enter the queue in
+// Submit-call order, whichever batch they arrived in.
+func TestSubmitTieOrderIsCallOrder(t *testing.T) {
+	s := New(cfg(1), sched.NewFCFS())
+	a := job.New(1, "u", "g", 1, 10, 10, 0)
+	b := job.New(2, "u", "g", 1, 10, 10, 0)
+	c := job.New(3, "u", "g", 1, 10, 10, 0)
+	s.Submit(a, b)
+	s.Submit(c)
+	s.Run()
+	if a.Start != 0 || b.Start != 10 || c.Start != 20 {
+		t.Fatalf("starts = %d,%d,%d, want 0,10,20 (FIFO in call order)", a.Start, b.Start, c.Start)
+	}
+}

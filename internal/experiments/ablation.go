@@ -116,15 +116,17 @@ func AblationEstimates(l *Lab) *AblationResult {
 		{"perfect estimates", func(j *job.Job) { j.Estimate = j.Runtime }},
 		{"uniform 2× estimates", func(j *job.Job) { j.Estimate = 2 * j.Runtime }},
 	}
-	for _, v := range variants {
+	res.Rows = make([]ablationRow, len(variants))
+	l.pool.forEach(len(variants), func(i int) {
+		v := variants[i]
 		log := job.CloneAll(b.log)
 		if v.mut != nil {
 			for _, j := range log {
 				v.mut(j)
 			}
 		}
-		res.Rows = append(res.Rows, runScenario(v.label, b.sys, log, spec, 0))
-	}
+		res.Rows[i] = runScenario(v.label, b.sys, log, spec, 0)
+	})
 	return res
 }
 
@@ -138,19 +140,27 @@ func AblationBackfill(l *Lab) *AblationResult {
 		Title: "Ablation: backfill flavor (Blue Mountain log, continual 32CPU × 120s@1GHz)",
 		Note:  "interstitial computing must coexist with whatever backfill the machine runs",
 	}
-	for _, v := range []struct {
+	flavors := []struct {
 		label string
 		pol   func() sched.Policy
 	}{
 		{"EASY (LSF, paper)", func() sched.Policy { return sched.NewLSF() }},
 		{"conservative (PBS)", func() sched.Policy { return sched.NewPBS() }},
 		{"FCFS, no backfill", func() sched.Policy { return sched.NewFCFS() }},
-	} {
+	}
+	// Flatten to (flavor, with/without) scenarios: all six simulations are
+	// independent.
+	res.Rows = make([]ablationRow, 2*len(flavors))
+	l.pool.forEach(2*len(flavors), func(i int) {
+		v := flavors[i/2]
 		sys := b.sys
 		sys.NewPolicy = v.pol
-		res.Rows = append(res.Rows, runScenario(v.label+" native-only", sys, b.log, core.JobSpec{}, 0))
-		res.Rows = append(res.Rows, runScenario(v.label+" +interstitial", sys, b.log, spec, 0))
-	}
+		if i%2 == 0 {
+			res.Rows[i] = runScenario(v.label+" native-only", sys, b.log, core.JobSpec{}, 0)
+		} else {
+			res.Rows[i] = runScenario(v.label+" +interstitial", sys, b.log, spec, 0)
+		}
+	})
 	return res
 }
 
@@ -164,13 +174,15 @@ func AblationBurstiness(l *Lab) *AblationResult {
 		Title: "Ablation: arrival burstiness (Blue Mountain, continual 32CPU × 120s@1GHz)",
 		Note:  "harvest total is ~invariant; burstiness moves the variance and the native tail",
 	}
-	for _, burst := range []float64{0, 0.6, 1.0} {
+	bursts := []float64{0, 0.6, 1.0}
+	res.Rows = make([]ablationRow, len(bursts))
+	l.pool.forEach(len(bursts), func(i int) {
 		sys := o.scaled(testbed.BlueMountain())
-		sys.Workload.Burstiness = burst
+		sys.Workload.Burstiness = bursts[i]
 		log := workload.Generate(sys.Workload, o.Seed)
 		spec := core.JobSpec{CPUs: 32, Runtime: sys.Seconds1GHz(120)}
-		res.Rows = append(res.Rows, runScenario(fmt.Sprintf("burstiness %.1f", burst), sys, log, spec, 0))
-	}
+		res.Rows[i] = runScenario(fmt.Sprintf("burstiness %.1f", bursts[i]), sys, log, spec, 0)
+	})
 	return res
 }
 
@@ -183,10 +195,12 @@ func AblationJobLength(l *Lab) *AblationResult {
 		Title: "Ablation: interstitial job length (Blue Mountain, continual, 32 CPUs/job)",
 		Note:  "paper guideline: short jobs bound the worst-case native delay",
 	}
-	for _, sec := range []float64{30, 120, 480, 960, 3840} {
-		spec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(sec)}
-		res.Rows = append(res.Rows, runScenario(fmt.Sprintf("%.0fs@1GHz (%ds)", sec, spec.Runtime), b.sys, b.log, spec, 0))
-	}
+	secs := []float64{30, 120, 480, 960, 3840}
+	res.Rows = make([]ablationRow, len(secs))
+	l.pool.forEach(len(secs), func(i int) {
+		spec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(secs[i])}
+		res.Rows[i] = runScenario(fmt.Sprintf("%.0fs@1GHz (%ds)", secs[i], spec.Runtime), b.sys, b.log, spec, 0)
+	})
 	return res
 }
 
@@ -211,10 +225,10 @@ func AblationPreemption(l *Lab) *AblationResult {
 		{"preempt, ckpt 60s", &core.Preemption{CheckpointEvery: 60}},
 		{"preempt, ckpt 600s", &core.Preemption{CheckpointEvery: 600}},
 	}
-	for _, v := range variants {
-		row := runScenarioPre(v.label, b.sys, b.log, spec, v.pre)
-		res.Rows = append(res.Rows, row)
-	}
+	res.Rows = make([]ablationRow, len(variants))
+	l.pool.forEach(len(variants), func(i int) {
+		res.Rows[i] = runScenarioPre(variants[i].label, b.sys, b.log, spec, variants[i].pre)
+	})
 	return res
 }
 
@@ -273,7 +287,9 @@ func AblationPrediction(l *Lab) *AblationResult {
 		{"smoothed per-user", func() predict.Predictor { return predict.NewSmoothed() }},
 		{"perfect oracle", func() predict.Predictor { return predict.Perfect{} }},
 	}
-	for _, v := range variants {
+	res.Rows = make([]ablationRow, len(variants))
+	l.pool.forEach(len(variants), func(i int) {
+		v := variants[i]
 		pred := v.mk()
 		sys := b.sys
 		inner := sys.NewPolicy
@@ -288,8 +304,8 @@ func AblationPrediction(l *Lab) *AblationResult {
 		geo, under := predict.Accuracy(natives)
 		row := summarizeContinual(sys, natives, ctrl.Jobs)
 		row.Label = fmt.Sprintf("%s [est/actual geo=%.1fx under=%.0f%%]", v.label, geo, under*100)
-		res.Rows = append(res.Rows, row)
-	}
+		res.Rows[i] = row
+	})
 	return res
 }
 
@@ -330,33 +346,34 @@ func AblationGuard(l *Lab) *AblationResult {
 		Title: "Ablation: Figure 1's backfillWallTime guard (Blue Mountain, continual 32CPU × 960s@1GHz)",
 		Note:  "guard off = naive cycle scavenging; the guard is what makes filler jobs polite",
 	}
-	for _, pol := range []struct {
+	pols := []struct {
 		label string
 		mk    func() sched.Policy
 	}{
 		{"LSF (paper)", func() sched.Policy { return sched.NewLSF() }},
 		{"Multifactor (SLURM-style)", func() sched.Policy { return sched.NewMultifactor() }},
-	} {
-		for _, ignore := range []bool{false, true} {
-			sys := b.sys
-			sys.NewPolicy = pol.mk
-			natives := job.CloneAll(b.log)
-			sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
-			sm.Submit(natives...)
-			ctrl := core.NewController(spec)
-			ctrl.StopAt = sys.Workload.Duration()
-			ctrl.IgnorePlan = ignore
-			ctrl.Attach(sm)
-			sm.Run()
-			row := summarizeContinual(sys, natives, ctrl.Jobs)
-			guard := "guard on"
-			if ignore {
-				guard = "guard OFF"
-			}
-			row.Label = pol.label + ", " + guard
-			res.Rows = append(res.Rows, row)
-		}
 	}
+	res.Rows = make([]ablationRow, 2*len(pols))
+	l.pool.forEach(2*len(pols), func(i int) {
+		pol, ignore := pols[i/2], i%2 == 1
+		sys := b.sys
+		sys.NewPolicy = pol.mk
+		natives := job.CloneAll(b.log)
+		sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
+		sm.Submit(natives...)
+		ctrl := core.NewController(spec)
+		ctrl.StopAt = sys.Workload.Duration()
+		ctrl.IgnorePlan = ignore
+		ctrl.Attach(sm)
+		sm.Run()
+		row := summarizeContinual(sys, natives, ctrl.Jobs)
+		guard := "guard on"
+		if ignore {
+			guard = "guard OFF"
+		}
+		row.Label = pol.label + ", " + guard
+		res.Rows[i] = row
+	})
 	return res
 }
 
@@ -369,10 +386,12 @@ func AblationJobWidth(l *Lab) *AblationResult {
 		Title: "Ablation: interstitial job width (Blue Mountain, continual, 120s@1GHz each)",
 		Note:  "paper guideline: few CPUs/job — wide jobs waste breakage and fit fewer holes",
 	}
-	for _, cpus := range []int{1, 8, 32, 128, 512} {
-		spec := core.JobSpec{CPUs: cpus, Runtime: b.sys.Seconds1GHz(120)}
-		res.Rows = append(res.Rows, runScenario(fmt.Sprintf("%d CPUs/job", cpus), b.sys, b.log, spec, 0))
-	}
+	widths := []int{1, 8, 32, 128, 512}
+	res.Rows = make([]ablationRow, len(widths))
+	l.pool.forEach(len(widths), func(i int) {
+		spec := core.JobSpec{CPUs: widths[i], Runtime: b.sys.Seconds1GHz(120)}
+		res.Rows[i] = runScenario(fmt.Sprintf("%d CPUs/job", widths[i]), b.sys, b.log, spec, 0)
+	})
 	return res
 }
 
@@ -387,13 +406,15 @@ func UtilizationSweep(l *Lab) *AblationResult {
 		Title: "Utilization sweep: interstitial harvest vs native load (Blue Mountain hardware)",
 		Note:  "harvest tracks spare capacity N(1-U); native medians stay near baseline",
 	}
-	for _, u := range []float64{0.50, 0.65, 0.79, 0.88, 0.95} {
+	utils := []float64{0.50, 0.65, 0.79, 0.88, 0.95}
+	res.Rows = make([]ablationRow, len(utils))
+	l.pool.forEach(len(utils), func(i int) {
 		sys := o.scaled(testbed.BlueMountain())
-		sys.Workload.TargetUtil = u
+		sys.Workload.TargetUtil = utils[i]
 		log := workload.Generate(sys.Workload, o.Seed)
 		spec := core.JobSpec{CPUs: 32, Runtime: sys.Seconds1GHz(120)}
-		res.Rows = append(res.Rows, runScenario(fmt.Sprintf("native load %.2f", u), sys, log, spec, 0))
-	}
+		res.Rows[i] = runScenario(fmt.Sprintf("native load %.2f", utils[i]), sys, log, spec, 0)
+	})
 	return res
 }
 
@@ -404,12 +425,14 @@ func AblationCapSweep(l *Lab) *AblationResult {
 	res := &AblationResult{
 		Title: "Ablation: utilization-cap sweep (Blue Mountain, continual 32CPU × 120s@1GHz)",
 	}
-	for _, cap := range []float64{0.85, 0.90, 0.93, 0.95, 0.98, 1.0, 0} {
-		label := fmt.Sprintf("cap %.2f", cap)
-		if cap == 0 {
+	caps := []float64{0.85, 0.90, 0.93, 0.95, 0.98, 1.0, 0}
+	res.Rows = make([]ablationRow, len(caps))
+	l.pool.forEach(len(caps), func(i int) {
+		label := fmt.Sprintf("cap %.2f", caps[i])
+		if caps[i] == 0 {
 			label = "uncapped"
 		}
-		res.Rows = append(res.Rows, runScenario(label, b.sys, b.log, spec, cap))
-	}
+		res.Rows[i] = runScenario(label, b.sys, b.log, spec, caps[i])
+	})
 	return res
 }

@@ -66,11 +66,13 @@ func (l *Lab) continualColumn(name, label string, natives, interstitial []*job.J
 
 // ContinualTable runs the machine's continual experiment with the two
 // 32-CPU job lengths of the corresponding paper table (120 and 960
-// sec@1GHz).
+// sec@1GHz). Both continual simulations are warmed up concurrently before
+// the columns are assembled in order.
 func ContinualTable(l *Lab, name string) *ContinualResult {
 	b := l.Baseline(name)
 	shortSpec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(120)}
 	longSpec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(960)}
+	l.Precompute(ContinualKey(name, shortSpec, 0), ContinualKey(name, longSpec, 0))
 
 	res := &ContinualResult{Title: fmt.Sprintf("Continual Interstitial Computing on %s", name)}
 	res.Columns = append(res.Columns, l.continualColumn(name, "Native Jobs", b.ran, nil))
@@ -134,6 +136,12 @@ func Table8Limited(l *Lab) *Table8LimitedResult {
 	spec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(120)}
 	res := &Table8LimitedResult{Caps: []int{90, 95, 98}}
 	res.Title = "Table 8b. Limited Continual Interstitial Computing on Blue Mountain (32CPU × 120s@1GHz)"
+	l.Precompute(
+		ContinualKey(name, spec, 0),
+		ContinualKey(name, spec, 90),
+		ContinualKey(name, spec, 95),
+		ContinualKey(name, spec, 98),
+	)
 	// Uncapped reference first.
 	run := l.Continual(name, spec, 0)
 	res.Columns = append(res.Columns, l.continualColumn(name, "uncapped", run.natives, run.interstitial))
@@ -197,20 +205,26 @@ func Figure4Outages(l *Lab) *Figure4Result {
 	horizon := sys.Workload.Duration()
 	n := sys.Workload.Machine.CPUs
 
-	baseline := job.CloneAll(log)
-	sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
-	sm.Submit(baseline...)
-	sm.Run()
-
-	withJobs := job.CloneAll(log)
-	sm2 := engine.New(sys.Workload.Machine, sys.NewPolicy())
-	sm2.Submit(withJobs...)
-	ctrl := core.NewController(core.JobSpec{CPUs: 32, Runtime: sys.Seconds1GHz(120)})
-	ctrl.StopAt = horizon
-	ctrl.Attach(sm2)
-	sm2.Run()
-
-	all := append(append([]*job.Job{}, withJobs...), ctrl.Jobs...)
+	// The with/without runs are independent simulations of the same log:
+	// run both sides concurrently.
+	var baseline, all []*job.Job
+	l.pool.forEach(2, func(i int) {
+		if i == 0 {
+			baseline = job.CloneAll(log)
+			sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
+			sm.Submit(baseline...)
+			sm.Run()
+			return
+		}
+		withJobs := job.CloneAll(log)
+		sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
+		sm.Submit(withJobs...)
+		ctrl := core.NewController(core.JobSpec{CPUs: 32, Runtime: sys.Seconds1GHz(120)})
+		ctrl.StopAt = horizon
+		ctrl.Attach(sm)
+		sm.Run()
+		all = append(append([]*job.Job{}, withJobs...), ctrl.Jobs...)
+	})
 	return &Figure4Result{
 		Without: stats.HourlySeries(baseline, n, horizon, 3600),
 		With:    stats.HourlySeries(all, n, horizon, 3600),
@@ -234,6 +248,7 @@ func waitHistogram(l *Lab, bigOnly bool) *WaitHistogramResult {
 	b := l.Baseline(name)
 	shortSpec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(120)}
 	longSpec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(960)}
+	l.Precompute(ContinualKey(name, shortSpec, 0), ContinualKey(name, longSpec, 0))
 	scen := []struct {
 		label   string
 		natives []*job.Job

@@ -4,15 +4,21 @@
 //
 // Experiments share a Lab, which memoizes the expensive artifacts: the
 // calibrated native logs, the native-only baseline runs, and the continual
-// interstitial runs that several tables slice differently.
+// interstitial runs that several tables slice differently. The Lab computes
+// distinct artifacts concurrently (per-key singleflight) and every
+// experiment fans its independent replications out over a worker pool
+// shared across the whole Lab, bounded by Options.Workers. Output is
+// deterministic at any worker count: same Options ⇒ same bytes.
 package experiments
 
 import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"interstitial/internal/core"
 	"interstitial/internal/engine"
@@ -34,6 +40,12 @@ type Options struct {
 	// Samples overrides the number of short-term windows sampled from a
 	// continual run (paper: 500). Zero means the default.
 	Samples int
+	// Workers bounds the harness's parallelism (shared across every
+	// experiment run against the same Lab). Zero means GOMAXPROCS. The
+	// rendered output is byte-for-byte identical for every Workers value:
+	// all randomness is derived from (Seed, replication index), never from
+	// scheduling order.
+	Workers int
 }
 
 // DefaultOptions runs at paper scale.
@@ -51,6 +63,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Samples <= 0 {
 		o.Samples = 500
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -112,24 +127,54 @@ type continualRun struct {
 	ctrl         *core.Controller
 }
 
+// baselineEntry is a singleflight slot for one system's baseline.
+type baselineEntry struct {
+	once sync.Once
+	b    *baseline
+}
+
+// continualEntry is a singleflight slot for one continual run.
+type continualEntry struct {
+	once sync.Once
+	r    *continualRun
+}
+
 // Lab memoizes expensive shared artifacts across experiments. Lab methods
-// are safe for concurrent use; cache misses are computed under the lock,
-// so concurrent callers of the *same* artifact serialize (and distinct
-// artifacts serialize too — the parallelism in this package lives inside
-// experiments, across independent replications).
+// are safe for concurrent use, with per-key singleflight: the artifact map
+// lock is held only to resolve a key to its entry, and the entry's own
+// sync.Once computes the artifact. Distinct artifacts — different systems,
+// job specs, utilization caps — therefore compute fully concurrently,
+// while duplicate requests for the same key coalesce onto a single
+// computation. Precompute fans out a table's whole working set ahead of
+// rendering.
+//
+// Determinism contract: for a given Options (Workers excluded), every
+// artifact and every rendered table is byte-for-byte identical at any
+// worker count. All randomness is derived from (Seed, replication index),
+// and parallel loops write results into pre-indexed slices, so scheduling
+// order can never leak into output.
 type Lab struct {
-	mu        sync.Mutex
-	opts      Options
-	baselines map[string]*baseline
-	continual map[continualKey]*continualRun
+	opts Options
+	pool *pool
+
+	mu        sync.Mutex // guards the maps, never held while computing
+	baselines map[string]*baselineEntry
+	continual map[continualKey]*continualEntry
+
+	// Computation counters (test hooks): they count actual artifact
+	// computations, not cache hits, so tests can assert singleflight.
+	baselineComputes  atomic.Int32
+	continualComputes atomic.Int32
 }
 
 // NewLab builds a lab for the options.
 func NewLab(o Options) *Lab {
+	o = o.normalized()
 	return &Lab{
-		opts:      o.normalized(),
-		baselines: make(map[string]*baseline),
-		continual: make(map[continualKey]*continualRun),
+		opts:      o,
+		pool:      newPool(o.Workers),
+		baselines: make(map[string]*baselineEntry),
+		continual: make(map[continualKey]*continualEntry),
 	}
 }
 
@@ -147,45 +192,88 @@ func (l *Lab) System(name string) testbed.System {
 }
 
 // Baseline returns the memoized calibrated log + native-only run for a
-// system.
+// system. Concurrent callers for the same system coalesce onto one
+// computation; different systems compute in parallel.
 func (l *Lab) Baseline(name string) *baseline {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if b, ok := l.baselines[name]; ok {
-		return b
+	e, ok := l.baselines[name]
+	if !ok {
+		e = &baselineEntry{}
+		l.baselines[name] = e
 	}
-	sys := l.System(name)
-	log := sys.CalibratedLog(l.opts.Seed, 0.015)
-	ran := job.CloneAll(log)
-	sm, util := sys.RunNative(ran)
-	b := &baseline{sys: sys, log: log, ran: ran, sim: sm, utilNat: util}
-	l.baselines[name] = b
-	return b
+	l.mu.Unlock()
+	e.once.Do(func() {
+		l.baselineComputes.Add(1)
+		sys := l.System(name)
+		log := sys.CalibratedLog(l.opts.Seed, 0.015)
+		ran := job.CloneAll(log)
+		sm, util := sys.RunNative(ran)
+		e.b = &baseline{sys: sys, log: log, ran: ran, sim: sm, utilNat: util}
+	})
+	return e.b
 }
 
 // Continual returns the memoized continual-interstitial run for a system
-// and job spec, with an optional utilization cap (in percent).
+// and job spec, with an optional utilization cap (in percent). Per-key
+// singleflight, like Baseline.
 func (l *Lab) Continual(name string, spec core.JobSpec, capPct int) *continualRun {
-	b := l.Baseline(name) // resolve before taking the lock (re-entrancy)
 	key := continualKey{system: name, cpus: spec.CPUs, runtime: spec.Runtime, cap: capPct}
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if r, ok := l.continual[key]; ok {
-		return r
+	e, ok := l.continual[key]
+	if !ok {
+		e = &continualEntry{}
+		l.continual[key] = e
 	}
-	natives := job.CloneAll(b.log)
-	sm := b.sys.NewSimulator()
-	sm.Submit(natives...)
-	ctrl := core.NewController(spec)
-	ctrl.StopAt = b.sys.Workload.Duration()
-	if capPct > 0 {
-		ctrl.UtilCap = float64(capPct) / 100
-	}
-	ctrl.Attach(sm)
-	sm.Run()
-	r := &continualRun{natives: natives, interstitial: ctrl.Jobs, ctrl: ctrl}
-	l.continual[key] = r
-	return r
+	l.mu.Unlock()
+	e.once.Do(func() {
+		l.continualComputes.Add(1)
+		b := l.Baseline(name)
+		natives := job.CloneAll(b.log)
+		sm := b.sys.NewSimulator()
+		sm.Submit(natives...)
+		ctrl := core.NewController(spec)
+		ctrl.StopAt = b.sys.Workload.Duration()
+		if capPct > 0 {
+			ctrl.UtilCap = float64(capPct) / 100
+		}
+		ctrl.Attach(sm)
+		sm.Run()
+		e.r = &continualRun{natives: natives, interstitial: ctrl.Jobs, ctrl: ctrl}
+	})
+	return e.r
+}
+
+// Key names a precomputable Lab artifact: a system's baseline when Spec is
+// zero, otherwise the continual run for (System, Spec, CapPct).
+type Key struct {
+	System string
+	Spec   core.JobSpec
+	CapPct int
+}
+
+// BaselineKey is the warmup key for a system's calibrated log + native run.
+func BaselineKey(system string) Key { return Key{System: system} }
+
+// ContinualKey is the warmup key for a continual run.
+func ContinualKey(system string, spec core.JobSpec, capPct int) Key {
+	return Key{System: system, Spec: spec, CapPct: capPct}
+}
+
+// Precompute fans the artifacts for the given keys out across the lab's
+// worker pool and returns when all are resolved. Tables call it with their
+// whole working set before rendering, so independent baselines and
+// continual runs overlap instead of materializing one-by-one on first use.
+// Precomputing a key that is already resolved (or concurrently resolving)
+// is free.
+func (l *Lab) Precompute(keys ...Key) {
+	l.pool.forEach(len(keys), func(i int) {
+		k := keys[i]
+		if k.Spec.CPUs == 0 {
+			l.Baseline(k.System)
+			return
+		}
+		l.Continual(k.System, k.Spec, k.CapPct)
+	})
 }
 
 // all returns natives + interstitial records of a continual run.

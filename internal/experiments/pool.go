@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pool bounds the number of extra goroutines the experiment harness uses.
+// One pool is shared per Lab, so nested fan-outs (the registry running
+// experiments in parallel, each of which fans replications out again)
+// compose under a single global bound instead of multiplying.
+//
+// Slots are acquired non-blockingly: a fan-out that finds the pool drained
+// simply runs its work on the calling goroutine. That makes nesting
+// deadlock-free by construction — a waiting parent never holds the slot
+// its children need — and means forEach degrades to a plain serial loop
+// when Workers=1.
+type pool struct {
+	slots chan struct{}
+}
+
+// newPool builds a pool with workers total slots (minimum 1). The slot
+// count bounds *extra* goroutines; the submitting goroutine always works
+// too, so total parallelism is workers.
+func newPool(workers int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &pool{slots: make(chan struct{}, workers-1)}
+}
+
+// tryAcquire takes a helper slot if one is free.
+func (p *pool) tryAcquire() bool {
+	select {
+	case p.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a helper slot.
+func (p *pool) release() { <-p.slots }
+
+// forEach runs fn(i) for every i in [0, n), fanning across the pool's
+// free slots plus the calling goroutine, and returns when all calls have
+// finished. Work is handed out by an atomic counter, so scheduling order
+// is arbitrary — fn must depend only on i and write only to per-i state
+// (e.g. a pre-indexed results slice) for the output to be deterministic.
+func (p *pool) forEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < n-1 && p.tryAcquire(); h++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer p.release()
+			work()
+		}()
+	}
+	work() // the caller participates; never blocks on a slot
+	wg.Wait()
+}

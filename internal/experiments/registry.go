@@ -3,15 +3,24 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Registry resolves experiment names to runners, caching the shared
 // Table 2 / Table 4 sweeps that several experiments derive from. It backs
-// cmd/experiments and is usable directly by library consumers.
+// cmd/experiments and is usable directly by library consumers. Run and
+// RunAll are safe for concurrent use: the shared sweeps are singleflight,
+// so e.g. table3 and figure2 requested in parallel share one Table 2
+// computation.
 type Registry struct {
 	lab *Lab
-	t2  *Table2Result
-	t4  *Table4Result
+
+	t2Once sync.Once
+	t2     *Table2Result
+	t2Err  error
+
+	t4Once sync.Once
+	t4     *Table4Result
 }
 
 // NewRegistry wraps a lab.
@@ -39,23 +48,15 @@ func AllNames() []string {
 	return names
 }
 
-// table2 memoizes the omniscient sweep.
+// table2 memoizes the omniscient sweep (singleflight).
 func (g *Registry) table2() (*Table2Result, error) {
-	if g.t2 == nil {
-		t2, err := Table2(g.lab)
-		if err != nil {
-			return nil, err
-		}
-		g.t2 = t2
-	}
-	return g.t2, nil
+	g.t2Once.Do(func() { g.t2, g.t2Err = Table2(g.lab) })
+	return g.t2, g.t2Err
 }
 
-// table4 memoizes the fallible short-term sweep.
+// table4 memoizes the fallible short-term sweep (singleflight).
 func (g *Registry) table4() *Table4Result {
-	if g.t4 == nil {
-		g.t4 = Table4(g.lab)
-	}
+	g.t4Once.Do(func() { g.t4 = Table4(g.lab) })
 	return g.t4
 }
 
@@ -134,4 +135,24 @@ func (g *Registry) Run(name string) (Renderer, error) {
 		return AblationCapSweep(g.lab), nil
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (valid: %v)", name, AllNames())
+}
+
+// RunAll executes the named experiments concurrently on the lab's worker
+// pool and returns their results in the given order. Experiments that
+// share artifacts (the Lab's baselines and continual runs, the registry's
+// Table 2 / Table 4 sweeps) coalesce on them instead of recomputing. The
+// first error (in name order) is returned, with results for the
+// experiments that succeeded.
+func (g *Registry) RunAll(names []string) ([]Renderer, error) {
+	out := make([]Renderer, len(names))
+	errs := make([]error, len(names))
+	g.lab.pool.forEach(len(names), func(i int) {
+		out[i], errs[i] = g.Run(names[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }

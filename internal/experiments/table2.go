@@ -3,12 +3,12 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 	"text/tabwriter"
 
 	"interstitial/internal/core"
+	"interstitial/internal/profile"
 	"interstitial/internal/rng"
+	"interstitial/internal/sim"
 	"interstitial/internal/stats"
 	"interstitial/internal/theory"
 )
@@ -46,16 +46,38 @@ type Table2Result struct {
 	Cells [][]Table2Cell
 }
 
+// t2cell is the prepared, not-yet-packed state of one Table 2 cell.
+type t2cell struct {
+	name   string
+	proj   core.ProjectSpec
+	spec   core.JobSpec
+	ideal  float64
+	free   *profile.Profile
+	starts []sim.Time
+	hours  []float64
+	errs   []error
+}
+
 // Table2 packs each project into each machine's recorded free-capacity
 // timeline at Reps random start times, with perfect knowledge of native
 // starts and finishes (Section 4.1).
+//
+// Execution is fully parallel at the replication grain: all three
+// baselines warm up concurrently, then every (project, machine, start)
+// pack runs as one task on the lab's shared pool. Each cell's start times
+// come from an rng derived from (Seed, cell index), and each pack writes
+// its makespan into a pre-indexed slot, so the rendered table is identical
+// at any worker count.
 func Table2(l *Lab) (*Table2Result, error) {
 	o := l.Options()
 	res := &Table2Result{Machines: []string{"Ross", "Blue Mountain", "Blue Pacific"}}
 	for _, p := range Table2Projects() {
 		res.Projects = append(res.Projects, o.scaledProject(p))
 	}
-	r := rng.New(o.Seed + 100)
+	l.Precompute(BaselineKey("Ross"), BaselineKey("Blue Mountain"), BaselineKey("Blue Pacific"))
+
+	// Prepare every cell: spec, theory line, tiled free timeline, starts.
+	cells := make([]*t2cell, 0, len(res.Projects)*len(res.Machines))
 	for i, p := range res.Projects {
 		res.Cells = append(res.Cells, make([]Table2Cell, len(res.Machines)))
 		for m, name := range res.Machines {
@@ -66,39 +88,43 @@ func Table2(l *Lab) (*Table2Result, error) {
 			spec := p.JobSpecFor(b.sys.Workload.Machine.ClockGHz)
 			ideal := theory.Makespan(p.PetaCycles, b.sys.Workload.Machine.CPUs, b.sys.Workload.Machine.ClockGHz, b.utilNat)
 			copies := int(ideal*3/float64(horizon)) + 2
-			free := core.FreeTimeline(b.ran, b.sys.Workload.Machine.CPUs, horizon, copies)
-			starts := randomStarts(r, o.Reps, horizon, 1.0)
-			// Replications are independent packs into clones of the same
-			// timeline: fan them out across the cores. Results land by
-			// index, so the output is bit-identical to the serial run.
-			hours := make([]float64, len(starts))
-			errs := make([]error, len(starts))
-			var wg sync.WaitGroup
-			sem := make(chan struct{}, runtime.NumCPU())
-			for k, t0 := range starts {
-				k, t0 := k, t0
-				wg.Add(1)
-				sem <- struct{}{}
-				go func() {
-					defer wg.Done()
-					defer func() { <-sem }()
-					pr, err := core.PackProject(free.Clone(), spec, t0, p.KJobs)
-					if err != nil {
-						errs[k] = err
-						return
-					}
-					hours[k] = pr.Makespan.HoursF()
-				}()
+			c := &t2cell{
+				name:  name,
+				proj:  p,
+				spec:  spec,
+				ideal: ideal,
+				free:  core.FreeTimeline(b.ran, b.sys.Workload.Machine.CPUs, horizon, copies),
+				starts: randomStarts(rng.New(o.Seed+100+int64(i*len(res.Machines)+m)),
+					o.Reps, horizon, 1.0),
 			}
-			wg.Wait()
-			for _, err := range errs {
-				if err != nil {
-					return nil, fmt.Errorf("table2 %s %v: %w", name, p, err)
-				}
-			}
-			sum := stats.Summarize(hours)
-			res.Cells[i][m] = Table2Cell{MeanH: sum.Mean, StdH: sum.Std, TheoryH: ideal / 3600, Samples: hours}
+			c.hours = make([]float64, len(c.starts))
+			c.errs = make([]error, len(c.starts))
+			cells = append(cells, c)
 		}
+	}
+
+	// Flatten to (cell, rep) tasks: replications are independent packs
+	// into clones of the same timeline.
+	reps := o.Reps
+	l.pool.forEach(len(cells)*reps, func(t int) {
+		c, k := cells[t/reps], t%reps
+		pr, err := core.PackProject(c.free.Clone(), c.spec, c.starts[k], c.proj.KJobs)
+		if err != nil {
+			c.errs[k] = err
+			return
+		}
+		c.hours[k] = pr.Makespan.HoursF()
+	})
+
+	for t, c := range cells {
+		for _, err := range c.errs {
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s %v: %w", c.name, c.proj, err)
+			}
+		}
+		sum := stats.Summarize(c.hours)
+		res.Cells[t/len(res.Machines)][t%len(res.Machines)] =
+			Table2Cell{MeanH: sum.Mean, StdH: sum.Std, TheoryH: c.ideal / 3600, Samples: c.hours}
 	}
 	return res, nil
 }

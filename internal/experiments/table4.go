@@ -67,42 +67,61 @@ func sampleShortTerm(run *continualRun, t1 sim.Time, k int) (sim.Time, bool) {
 }
 
 // Table4 runs the sweep on Blue Mountain and Blue Pacific.
+//
+// The continual runs behind every cell are warmed up in parallel first
+// (distinct (machine, spec) keys compute concurrently under the Lab's
+// singleflight), then the cells sample concurrently. Each cell's window
+// starts come from an rng derived from (Seed, cell index) so the table's
+// bytes are independent of both worker count and scheduling order.
 func Table4(l *Lab) *Table4Result {
 	o := l.Options()
 	res := &Table4Result{Machines: []string{"Blue Mountain", "Blue Pacific"}}
-	r := rng.New(o.Seed + 200)
+	var projects []core.ProjectSpec
+	var keys []Key
 	for _, row := range Table4Rows() {
 		p := o.scaledProject(core.ProjectSpec{PetaCycles: row.PetaCycles, KJobs: row.KJobs, CPUsPerJob: row.CPUs})
-		scaled := Table4Row{PetaCycles: p.PetaCycles, KJobs: p.KJobs, CPUs: p.CPUsPerJob, Sec1GHz: p.Seconds1GHz()}
-		res.Rows = append(res.Rows, scaled)
-		cells := make([]Table4Cell, len(res.Machines))
-		for m, name := range res.Machines {
-			b := l.Baseline(name)
-			spec := p.JobSpecFor(b.sys.Workload.Machine.ClockGHz)
-			run := l.Continual(name, spec, 0)
-			horizon := b.sys.Workload.Duration()
-			var hours []float64
-			na := 0
-			for s := 0; s < o.Samples; s++ {
-				t1 := sim.Time(r.Float64() * float64(horizon))
-				ms, ok := sampleShortTerm(run, t1, p.KJobs)
-				if !ok {
-					na++
-					continue
-				}
-				hours = append(hours, ms.HoursF())
-			}
-			// The paper marks a configuration n/a when the project
-			// typically cannot finish inside the log.
-			if na > o.Samples/2 || len(hours) == 0 {
-				cells[m] = Table4Cell{NA: true}
+		projects = append(projects, p)
+		res.Rows = append(res.Rows, Table4Row{PetaCycles: p.PetaCycles, KJobs: p.KJobs, CPUs: p.CPUsPerJob, Sec1GHz: p.Seconds1GHz()})
+		res.Cells = append(res.Cells, make([]Table4Cell, len(res.Machines)))
+	}
+	l.Precompute(BaselineKey("Blue Mountain"), BaselineKey("Blue Pacific"))
+	for _, name := range res.Machines {
+		clock := l.Baseline(name).sys.Workload.Machine.ClockGHz
+		for _, p := range projects {
+			keys = append(keys, ContinualKey(name, p.JobSpecFor(clock), 0))
+		}
+	}
+	l.Precompute(keys...)
+
+	nm := len(res.Machines)
+	l.pool.forEach(len(projects)*nm, func(t int) {
+		i, m := t/nm, t%nm
+		p, name := projects[i], res.Machines[m]
+		b := l.Baseline(name)
+		spec := p.JobSpecFor(b.sys.Workload.Machine.ClockGHz)
+		run := l.Continual(name, spec, 0)
+		horizon := b.sys.Workload.Duration()
+		r := rng.New(o.Seed + 200 + int64(t))
+		var hours []float64
+		na := 0
+		for s := 0; s < o.Samples; s++ {
+			t1 := sim.Time(r.Float64() * float64(horizon))
+			ms, ok := sampleShortTerm(run, t1, p.KJobs)
+			if !ok {
+				na++
 				continue
 			}
-			sum := stats.Summarize(hours)
-			cells[m] = Table4Cell{MeanH: sum.Mean, StdH: sum.Std, Samples: hours}
+			hours = append(hours, ms.HoursF())
 		}
-		res.Cells = append(res.Cells, cells)
-	}
+		// The paper marks a configuration n/a when the project
+		// typically cannot finish inside the log.
+		if na > o.Samples/2 || len(hours) == 0 {
+			res.Cells[i][m] = Table4Cell{NA: true}
+			return
+		}
+		sum := stats.Summarize(hours)
+		res.Cells[i][m] = Table4Cell{MeanH: sum.Mean, StdH: sum.Std, Samples: hours}
+	})
 	return res
 }
 

@@ -44,13 +44,21 @@ func ValidateSampling(l *Lab) *ValidateSamplingResult {
 	horizon := b.sys.Workload.Duration()
 
 	res := &ValidateSamplingResult{}
-	var errSum, exSum, dirSum float64
-	n := 0
-	for _, pct := range []int64{8, 16, 24, 31, 39, 47, 55, 63} {
-		t1 := horizon / 100 * sim.Time(pct)
+	// Each window's direct co-simulation is an independent full run: fan
+	// the windows out and collect per-index, then fold the sums in window
+	// order so the float accumulation is identical at any worker count.
+	pcts := []int64{8, 16, 24, 31, 39, 47, 55, 63}
+	type window struct {
+		ok                 bool
+		startH, exH, dirH  float64
+		extracted, directT sim.Time
+	}
+	wins := make([]window, len(pcts))
+	l.pool.forEach(len(pcts), func(i int) {
+		t1 := horizon / 100 * sim.Time(pcts[i])
 		extracted, ok := sampleShortTerm(run, t1, p.KJobs)
 		if !ok {
-			continue
+			return
 		}
 		// Direct co-simulation of the same single project.
 		natives := job.CloneAll(b.log)
@@ -61,21 +69,32 @@ func ValidateSampling(l *Lab) *ValidateSamplingResult {
 		sm.Run()
 		direct, err := ctrl.Makespan()
 		if err != nil {
+			return
+		}
+		wins[i] = window{
+			ok: true, startH: t1.HoursF(), exH: extracted.HoursF(), dirH: direct.HoursF(),
+			extracted: extracted, directT: direct,
+		}
+	})
+	var errSum, exSum, dirSum float64
+	n := 0
+	for _, w := range wins {
+		if !w.ok {
 			continue
 		}
 		res.Rows = append(res.Rows, struct {
 			StartH     float64
 			ExtractedH float64
 			DirectH    float64
-		}{t1.HoursF(), extracted.HoursF(), direct.HoursF()})
-		if direct > 0 {
-			d := extracted.HoursF()/direct.HoursF() - 1
+		}{w.startH, w.exH, w.dirH})
+		if w.directT > 0 {
+			d := w.exH/w.dirH - 1
 			if d < 0 {
 				d = -d
 			}
 			errSum += d
-			exSum += extracted.HoursF()
-			dirSum += direct.HoursF()
+			exSum += w.exH
+			dirSum += w.dirH
 			n++
 		}
 	}
@@ -127,7 +146,9 @@ type CorrelationsResult struct {
 func Correlations(l *Lab) *CorrelationsResult {
 	o := l.Options()
 	res := &CorrelationsResult{}
-	for _, bursty := range []bool{true, false} {
+	// Bursty and flattened runs are independent; run both sides at once.
+	l.pool.forEach(2, func(i int) {
+		bursty := i == 0
 		sys := o.scaled(testbed.BlueMountain())
 		if !bursty {
 			sys.Workload.Burstiness = 0
@@ -145,7 +166,7 @@ func Correlations(l *Lab) *CorrelationsResult {
 		} else {
 			res.ACFPoisson, res.HurstPoisson = acf, h
 		}
-	}
+	})
 	return res
 }
 
@@ -196,17 +217,30 @@ func SeedRobustness(l *Lab, nSeeds int) *SeedRobustnessResult {
 		nSeeds = 3
 	}
 	o := l.Options()
-	res := &SeedRobustnessResult{}
-	for s := int64(0); s < int64(nSeeds); s++ {
+	res := &SeedRobustnessResult{
+		Seeds:       make([]int64, nSeeds),
+		UtilGain:    make([]float64, nSeeds),
+		NativeShift: make([]float64, nSeeds),
+	}
+	// Flatten to (seed, base/with) tasks: 2*nSeeds independent full runs.
+	rows := make([]ablationRow, 2*nSeeds)
+	l.pool.forEach(2*nSeeds, func(i int) {
+		s := int64(i / 2)
 		seed := o.Seed + s*1000
 		sys := o.scaled(testbed.BlueMountain())
 		log := workload.Generate(sys.Workload, seed)
-		spec := core.JobSpec{CPUs: 32, Runtime: sys.Seconds1GHz(120)}
-		base := runScenario("base", sys, log, core.JobSpec{}, 0)
-		with := runScenario("with", sys, log, spec, 0)
-		res.Seeds = append(res.Seeds, seed)
-		res.UtilGain = append(res.UtilGain, with.OverallUtil-base.OverallUtil)
-		res.NativeShift = append(res.NativeShift, with.NativeUtil-base.NativeUtil)
+		if i%2 == 0 {
+			rows[i] = runScenario("base", sys, log, core.JobSpec{}, 0)
+		} else {
+			spec := core.JobSpec{CPUs: 32, Runtime: sys.Seconds1GHz(120)}
+			rows[i] = runScenario("with", sys, log, spec, 0)
+		}
+	})
+	for s := 0; s < nSeeds; s++ {
+		base, with := rows[2*s], rows[2*s+1]
+		res.Seeds[s] = o.Seed + int64(s)*1000
+		res.UtilGain[s] = with.OverallUtil - base.OverallUtil
+		res.NativeShift[s] = with.NativeUtil - base.NativeUtil
 	}
 	res.GainSummary = stats.Summarize(res.UtilGain)
 	return res

@@ -109,11 +109,20 @@ func (m *Machine) RunningJobs() []*job.Job {
 	return append([]*job.Job(nil), m.running...)
 }
 
-// RunningSnapshot exposes the internal running slice without copying. It
-// is valid only until the next Start/Finish/Release and must not be
-// mutated; the scheduler's per-pass profile construction uses it to stay
-// allocation-free.
-func (m *Machine) RunningSnapshot() []*job.Job { return m.running }
+// RunningBorrow exposes the internal running slice without copying —
+// read-only, and valid only until the next Start/Finish/Release. The
+// scheduler's per-pass profile construction uses it to stay
+// allocation-free; everyone else (in particular concurrent experiment
+// code holding results across machine state changes) must use RunningJobs,
+// which copies. The "Borrow" name marks the aliasing at every call site.
+func (m *Machine) RunningBorrow() []*job.Job { return m.running }
+
+// RunningSnapshot returns a copy of the running set. Unlike RunningBorrow
+// the result is safe to hold across subsequent machine state changes.
+//
+// Deprecated: identical to RunningJobs, kept for callers of the old
+// borrow-returning API so they now get safe semantics by default.
+func (m *Machine) RunningSnapshot() []*job.Job { return m.RunningJobs() }
 
 // removeRunning swap-removes the job at index i.
 func (m *Machine) removeRunning(i int) {

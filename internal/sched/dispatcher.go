@@ -83,7 +83,8 @@ func (d *Dispatcher) Schedule(now sim.Time, m *machine.Machine, q *Queue) PassRe
 	}
 	q.Sort()
 
-	p := profile.FromRunning(now, m.Config().CPUs, m.RunningSnapshot())
+	// Borrowed slice: FromRunning only reads it, within this pass.
+	p := profile.FromRunning(now, m.Config().CPUs, m.RunningBorrow())
 	res := PassResult{HeadReservation: sim.Infinity}
 
 	switch d.policy.Backfill() {

@@ -6,15 +6,19 @@
 // for the same instant always fire in scheduling order regardless of heap
 // internals.
 //
+// The event heap is hand-rolled over a slice of *item and fired items are
+// recycled through a free list, so steady-state scheduling allocates
+// nothing: the hot loop of a long simulation touches only memory it has
+// already touched. Handles stay safe across recycling because each carries
+// the sequence number of the scheduling it refers to; a Cancel on a handle
+// whose item has since been reused is a no-op.
+//
 // Simulated time is measured in integer seconds from the start of the
 // simulation (Time). All higher layers (machines, schedulers, the
 // interstitial controller) share this time base.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is simulated time in seconds since the simulation epoch.
 type Time int64
@@ -43,60 +47,40 @@ type EventFunc func(e *Engine)
 // Execute calls f(e).
 func (f EventFunc) Execute(e *Engine) { f(e) }
 
-// item is a scheduled event inside the heap.
+// item is a scheduled event inside the heap. Items are pooled: after an
+// item fires (or is drained dead) it returns to the engine's free list and
+// its next scheduling overwrites every field, bumping seq.
 type item struct {
 	at    Time
 	seq   uint64
 	prio  int // lower fires first among equal (at); used to order phases within an instant
 	event Event
-	index int
 	dead  bool
 }
 
-// eventHeap orders items by (at, prio, seq).
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports heap order: (at, prio, seq) lexicographic.
+func (a *item) before(b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
+	if a.prio != b.prio {
+		return a.prio < b.prio
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// Handle identifies a scheduled event so it can be cancelled. It pins the
+// scheduling, not the storage: once the event has fired and its item has
+// been recycled for a later scheduling, the handle silently expires.
+type Handle struct {
+	it  *item
+	seq uint64
 }
-
-func (h *eventHeap) Push(x any) {
-	it := x.(*item)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	it.index = -1
-	*h = old[:n-1]
-	return it
-}
-
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ it *item }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (h Handle) Cancel() {
-	if h.it != nil {
+	if h.it != nil && h.it.seq == h.seq {
 		h.it.dead = true
 	}
 }
@@ -106,7 +90,8 @@ func (h Handle) Cancel() {
 type Engine struct {
 	now      Time
 	seq      uint64
-	events   eventHeap
+	events   []*item // binary min-heap ordered by item.before
+	free     []*item // recycled items
 	executed uint64
 	stopped  bool
 }
@@ -127,6 +112,17 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Stop halts Run before the next event fires.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Grow pre-sizes the pending set for n more events, so a bulk scheduling
+// phase (e.g. injecting a whole job log) does not re-grow the heap
+// repeatedly.
+func (e *Engine) Grow(n int) {
+	if need := len(e.events) + n; need > cap(e.events) {
+		grown := make([]*item, len(e.events), need)
+		copy(grown, e.events)
+		e.events = grown
+	}
+}
+
 // Schedule enqueues ev to fire at time at. It panics if at precedes the
 // current clock, since time travel indicates a logic error in the caller.
 func (e *Engine) Schedule(at Time, ev Event) Handle {
@@ -146,9 +142,17 @@ func (e *Engine) schedule(at Time, prio int, ev Event) Handle {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
 	}
 	e.seq++
-	it := &item{at: at, seq: e.seq, prio: prio, event: ev}
-	heap.Push(&e.events, it)
-	return Handle{it: it}
+	var it *item
+	if n := len(e.free); n > 0 {
+		it = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*it = item{at: at, seq: e.seq, prio: prio, event: ev}
+	} else {
+		it = &item{at: at, seq: e.seq, prio: prio, event: ev}
+	}
+	e.push(it)
+	return Handle{it: it, seq: it.seq}
 }
 
 // ScheduleAfter enqueues ev to fire d seconds from now.
@@ -156,17 +160,75 @@ func (e *Engine) ScheduleAfter(d Time, ev Event) Handle {
 	return e.Schedule(e.now+d, ev)
 }
 
+// push inserts it into the heap.
+func (e *Engine) push(it *item) {
+	e.events = append(e.events, it)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.events[i].before(e.events[parent]) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum item.
+func (e *Engine) pop() *item {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	e.events = h[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+// siftDown restores heap order below index i.
+func (e *Engine) siftDown(i int) {
+	h := e.events
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && h[right].before(h[left]) {
+			min = right
+		}
+		if !h[min].before(h[i]) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// recycle returns a fired or drained item to the free list.
+func (e *Engine) recycle(it *item) {
+	it.event = nil
+	e.free = append(e.free, it)
+}
+
 // step fires the next live event, advancing the clock. It reports false
 // when no live events remain.
 func (e *Engine) step() bool {
 	for len(e.events) > 0 {
-		it := heap.Pop(&e.events).(*item)
+		it := e.pop()
 		if it.dead {
+			e.recycle(it)
 			continue
 		}
 		e.now = it.at
 		e.executed++
-		it.event.Execute(e)
+		ev := it.event
+		e.recycle(it)
+		ev.Execute(e)
 		return true
 	}
 	return false
@@ -199,7 +261,7 @@ func (e *Engine) RunUntil(deadline Time) {
 func (e *Engine) PeekTime() (Time, bool) {
 	for len(e.events) > 0 {
 		if e.events[0].dead {
-			heap.Pop(&e.events)
+			e.recycle(e.pop())
 			continue
 		}
 		return e.events[0].at, true

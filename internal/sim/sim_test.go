@@ -271,3 +271,33 @@ func BenchmarkScheduleRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+// TestCancelAfterRecycleIsNoop guards the free-list invariant: a stale
+// Handle to an item that fired and was recycled into a new event must not
+// cancel the new event.
+func TestCancelAfterRecycleIsNoop(t *testing.T) {
+	e := New()
+	stale := e.Schedule(1, EventFunc(func(*Engine) {}))
+	e.Run() // fires and recycles the item backing `stale`
+	fired := false
+	// With a single-item free list the next Schedule reuses that item.
+	e.Schedule(2, EventFunc(func(*Engine) { fired = true }))
+	stale.Cancel() // must no-op: the handle's sequence is stale
+	e.Run()
+	if !fired {
+		t.Fatal("stale handle cancelled an unrelated recycled event")
+	}
+}
+
+// TestFreeListReusesItems checks that a schedule/fire cycle recycles heap
+// items instead of allocating fresh ones each round.
+func TestFreeListReusesItems(t *testing.T) {
+	e := New()
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Schedule(e.Now()+1, EventFunc(func(*Engine) {}))
+		e.Run()
+	})
+	if allocs > 1 {
+		t.Fatalf("schedule/run cycle allocates %.1f objects, want <=1 (free list not reusing)", allocs)
+	}
+}
