@@ -13,18 +13,29 @@ build:
 test:
 	$(GO) test ./...
 
+# Write the profile to a temp file and move it into place only on
+# success, so a mid-run test failure can't leave a stale/truncated
+# cover.out behind for the next `go tool cover` to misreport.
 cover:
-	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+	@rm -f cover.out.tmp; \
+	if $(GO) test -coverprofile=cover.out.tmp ./...; then \
+		mv cover.out.tmp cover.out; \
+		$(GO) tool cover -func=cover.out | tail -1; \
+	else \
+		rm -f cover.out.tmp; exit 1; \
+	fi
 
 # Every benchmark (each regenerates a scaled-down table/figure), run
 # BENCHCOUNT times with allocation stats, saved to the first free
 # BENCH_<n>.txt so before/after comparisons (benchstat BENCH_1.txt
-# BENCH_2.txt) survive the runs that produced them. Use BENCHTIME=5x
-# etc. for longer iterations.
+# BENCH_2.txt) survive the runs that produced them. The slot is claimed
+# with noclobber (set -C: open(O_EXCL)) so two overlapping invocations
+# can't pick the same number. Use BENCHTIME=5x etc. for longer
+# iterations.
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 3
 bench:
-	@n=1; while [ -e BENCH_$$n.txt ]; do n=$$((n+1)); done; \
+	@n=1; while ! { set -C; : > BENCH_$$n.txt; } 2>/dev/null; do n=$$((n+1)); done; \
 	echo "writing BENCH_$$n.txt"; \
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -count $(BENCHCOUNT) ./... | tee BENCH_$$n.txt
 
@@ -43,4 +54,4 @@ examples:
 		echo "=== examples/$$e ==="; $(GO) run ./examples/$$e || exit 1; done
 
 clean:
-	rm -f cover.out BENCH_*.txt
+	rm -f cover.out cover.out.tmp BENCH_*.txt

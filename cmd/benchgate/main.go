@@ -1,0 +1,127 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// when a named benchmark's mean time/op regressed beyond a threshold.
+//
+// Usage:
+//
+//	benchgate [-threshold pct] base.txt head.txt Benchmark1 [Benchmark2...]
+//
+// CI uses it as the pass/fail gate behind the benchstat display: benchstat
+// gives humans the full delta table with variance, benchgate gives the job
+// an unambiguous exit code on the benchmarks the repo actually guards
+// (BenchmarkSimKernel, BenchmarkLabParallel). Means over -count runs are
+// compared; the GOMAXPROCS suffix (-8 etc.) is stripped so files recorded
+// on machines with different core counts still line up.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 15, "max allowed time/op regression in percent")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold pct] base.txt head.txt Benchmark...")
+		os.Exit(2)
+	}
+	base, err := parseFile(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	head, err := parseFile(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if ok := gate(os.Stdout, base, head, args[2:], *threshold); !ok {
+		os.Exit(1)
+	}
+}
+
+// parseFile reads one `go test -bench` output file into mean ns/op per
+// benchmark name.
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+// parse accumulates ns/op means keyed by benchmark name with the
+// -GOMAXPROCS suffix stripped. Lines that aren't benchmark results are
+// ignored.
+func parse(r io.Reader) (map[string]float64, error) {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark<Name>-8  <iters>  <ns> ns/op  [...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i]
+		}
+		sums[name] += ns
+		counts[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name := range sums {
+		sums[name] /= float64(counts[name])
+	}
+	return sums, nil
+}
+
+// gate prints a verdict line per guarded benchmark and reports whether all
+// passed. A benchmark missing from either file is a failure: a gate that
+// silently skips a renamed benchmark guards nothing.
+func gate(w io.Writer, base, head map[string]float64, names []string, threshold float64) bool {
+	ok := true
+	for _, name := range names {
+		b, bok := base[name]
+		h, hok := head[name]
+		if !bok || !hok {
+			fmt.Fprintf(w, "FAIL %s: missing from %s\n", name, missing(bok, hok))
+			ok = false
+			continue
+		}
+		delta := (h/b - 1) * 100
+		verdict := "ok  "
+		if delta > threshold {
+			verdict = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(w, "%s %s: %.0f ns/op -> %.0f ns/op (%+.1f%%, limit +%.0f%%)\n",
+			verdict, name, b, h, delta, threshold)
+	}
+	return ok
+}
+
+func missing(baseOK, headOK bool) string {
+	switch {
+	case !baseOK && !headOK:
+		return "both files"
+	case !baseOK:
+		return "base file"
+	default:
+		return "head file"
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: interstitial
+cpu: AMD EPYC
+BenchmarkSimKernel-8        	  100000	        18.2 ns/op	 186 B/op	       7 allocs/op
+BenchmarkSimKernel-8        	  100000	        18.6 ns/op	 186 B/op	       7 allocs/op
+BenchmarkSimKernelChurn-8   	   50000	        40.0 ns/op
+BenchmarkLabParallel-8      	       2	 500000000 ns/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got["BenchmarkSimKernel"]; v != 18.4 {
+		t.Errorf("SimKernel mean = %v, want 18.4", v)
+	}
+	if v := got["BenchmarkSimKernelChurn"]; v != 40.0 {
+		t.Errorf("SimKernelChurn = %v, want 40", v)
+	}
+	if v := got["BenchmarkLabParallel"]; v != 500000000 {
+		t.Errorf("LabParallel = %v, want 5e8", v)
+	}
+	if _, ok := got["PASS"]; ok {
+		t.Error("non-benchmark line parsed")
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := map[string]float64{"BenchmarkSimKernel": 100, "BenchmarkLabParallel": 1000}
+	cases := []struct {
+		name string
+		head map[string]float64
+		want bool
+	}{
+		{"within threshold", map[string]float64{"BenchmarkSimKernel": 110, "BenchmarkLabParallel": 1000}, true},
+		{"improvement", map[string]float64{"BenchmarkSimKernel": 50, "BenchmarkLabParallel": 800}, true},
+		{"regression", map[string]float64{"BenchmarkSimKernel": 120, "BenchmarkLabParallel": 1000}, false},
+		{"missing from head", map[string]float64{"BenchmarkSimKernel": 100}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			got := gate(&sb, base, tc.head, []string{"BenchmarkSimKernel", "BenchmarkLabParallel"}, 15)
+			if got != tc.want {
+				t.Errorf("gate = %v, want %v\n%s", got, tc.want, sb.String())
+			}
+		})
+	}
+}
+
+func TestGateMissingFromBase(t *testing.T) {
+	var sb strings.Builder
+	if gate(&sb, map[string]float64{}, map[string]float64{"BenchmarkX": 1}, []string{"BenchmarkX"}, 15) {
+		t.Error("gate passed with benchmark missing from base")
+	}
+	if !strings.Contains(sb.String(), "base file") {
+		t.Errorf("verdict should name the missing side: %s", sb.String())
+	}
+}

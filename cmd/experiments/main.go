@@ -2,11 +2,21 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-scale F] [-reps N] [-samples N] [-workers N] [-csv dir] [names...]
+//	experiments [-seed N] [-scale F] [-reps N] [-samples N] [-workers N]
+//	            [-csv dir] [-metrics] [-pprof addr] [names...]
 //
 // Experiments run concurrently on a worker pool bounded by -workers
 // (default: GOMAXPROCS); output is rendered in evaluation order and is
 // byte-identical for every worker count.
+//
+// -metrics dumps the observability layer to stderr after the run: a
+// per-experiment wall-time/cell-count table and the full metric registry
+// (kernel event counts, backfill fills, singleflight hits, pool
+// occupancy) in Prometheus text format. -pprof serves net/http/pprof and
+// expvar (including the live metric registry) on the given address for
+// profiling a long run, e.g. `-pprof localhost:6060`. Both are
+// observation-only: the rendered tables on stdout are byte-identical with
+// or without them.
 //
 // With no names, every paper experiment runs in evaluation order. Use
 // "ablations" for all beyond-the-paper studies, "extensions" for every
@@ -21,6 +31,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"strings"
 	"time"
@@ -35,6 +47,8 @@ func main() {
 	samples := flag.Int("samples", 0, "short-term windows sampled from continual runs (default 500)")
 	workers := flag.Int("workers", 0, "parallelism across and within experiments (default GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write each experiment's data points as <dir>/<name>.csv")
+	metrics := flag.Bool("metrics", false, "dump the metric registry and per-experiment timing to stderr after the run")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	list := flag.Bool("list", false, "print the valid experiment names and exit")
 	flag.Parse()
 	if *list {
@@ -51,7 +65,22 @@ func main() {
 	}
 
 	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Samples: *samples, Workers: *workers}
-	reg := experiments.NewRegistry(experiments.NewLab(opts))
+	lab := experiments.NewLab(opts)
+	reg := experiments.NewRegistry(lab)
+
+	if *pprofAddr != "" {
+		// The default mux already has pprof (import above) and expvar's
+		// /debug/vars; publishing the registry adds the live simulator
+		// metrics to the latter.
+		lab.Metrics().PublishExpvar("interstitial")
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "experiments: pprof+expvar on http://%s/debug/pprof http://%s/debug/vars\n",
+			*pprofAddr, *pprofAddr)
+	}
 
 	names := flag.Args()
 	switch {
@@ -94,6 +123,17 @@ func main() {
 		fmt.Printf("  [%s]\n\n", name)
 	}
 	fmt.Printf("  [%d experiments in %.1fs]\n", len(names), time.Since(t0).Seconds())
+
+	if *metrics {
+		fmt.Fprintf(os.Stderr, "\n=== experiment timing (elapsed %.1fs) ===\n", time.Since(t0).Seconds())
+		if err := lab.Timings().WriteTable(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: timing table: %v\n", err)
+		}
+		fmt.Fprintln(os.Stderr, "\n=== metrics ===")
+		if err := lab.Metrics().Snapshot().WriteText(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics dump: %v\n", err)
+		}
+	}
 }
 
 // writeCSV dumps an experiment's data points when it supports CSV export.

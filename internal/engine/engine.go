@@ -51,6 +51,24 @@ type Simulator struct {
 	passPending bool
 	timedPassAt sim.Time
 	timedPass   sim.Handle
+
+	stats Stats
+}
+
+// Stats counts what the simulator did: the scheduler-level view the paper
+// reports alongside utilization (submissions, dispatches, backfill fills,
+// preemption kills). Plain ints, single-goroutine like the kernel; read a
+// consistent copy with Simulator.Stats.
+type Stats struct {
+	// Submitted counts native jobs handed to Submit/SubmitNow; Dispatched
+	// the native jobs started by scheduling passes; Backfilled the subset
+	// of dispatches that jumped the queue. DirectStarts counts jobs placed
+	// by StartDirect (interstitial fills); Kills the running jobs aborted
+	// by Kill (interstitial preemptions). Passes counts scheduling passes.
+	Submitted, Dispatched, Backfilled uint64
+	DirectStarts, Kills, Passes       uint64
+	// Kernel is the event-kernel view of the same run.
+	Kernel sim.Stats
 }
 
 // New builds a simulator for the machine configuration and policy.
@@ -82,6 +100,13 @@ func (s *Simulator) Now() sim.Time { return s.eng.Now() }
 // completion order.
 func (s *Simulator) Finished() []*job.Job { return s.finished }
 
+// Stats reports the simulator's counters so far, including the kernel's.
+func (s *Simulator) Stats() Stats {
+	st := s.stats
+	st.Kernel = s.eng.Stats()
+	return st
+}
+
 // Submit schedules the jobs' submissions at their Submit times. Rather
 // than wrapping every job in its own closure and heap event, the jobs are
 // merged into a sorted pending stream drained by a single self-rescheduling
@@ -99,6 +124,7 @@ func (s *Simulator) Submit(jobs ...*job.Job) {
 			panic(fmt.Sprintf("engine: job %d submitted at %d, before now %d", j.ID, j.Submit, now))
 		}
 	}
+	s.stats.Submitted += uint64(len(jobs))
 	s.pending = append(s.pending, jobs...)
 	sort.SliceStable(s.pending, func(i, k int) bool { return s.pending[i].Submit < s.pending[k].Submit })
 	// Finish events are ~1:1 with submissions; pre-size the heap for them.
@@ -145,6 +171,7 @@ func (s *Simulator) injectPending() {
 // react to pass results).
 func (s *Simulator) SubmitNow(j *job.Job) {
 	j.Submit = s.eng.Now()
+	s.stats.Submitted++
 	s.queue.Push(j)
 	s.requestPass()
 }
@@ -159,6 +186,7 @@ func (s *Simulator) StartDirect(j *job.Job) {
 		j.Submit = now
 	}
 	s.m.Start(now, j)
+	s.stats.DirectStarts++
 	s.scheduleFinish(j)
 }
 
@@ -183,6 +211,7 @@ func (s *Simulator) Kill(j *job.Job) {
 	}
 	h.Cancel()
 	delete(s.finishEvents, j.ID)
+	s.stats.Kills++
 	s.m.Release(s.eng.Now(), j)
 	s.requestPass()
 }
@@ -203,6 +232,9 @@ func (s *Simulator) requestPass() {
 func (s *Simulator) pass() {
 	now := s.eng.Now()
 	res := s.disp.Schedule(now, s.m, s.queue)
+	s.stats.Passes++
+	s.stats.Dispatched += uint64(len(res.Started))
+	s.stats.Backfilled += uint64(res.Backfilled)
 	for _, j := range res.Started {
 		s.scheduleFinish(j)
 	}

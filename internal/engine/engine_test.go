@@ -373,3 +373,52 @@ func TestSubmitTieOrderIsCallOrder(t *testing.T) {
 		t.Fatalf("starts = %d,%d,%d, want 0,10,20 (FIFO in call order)", a.Start, b.Start, c.Start)
 	}
 }
+
+// TestSimulatorStats checks the scheduler-level counters: submissions,
+// pass dispatches, backfill fills, direct starts, and kills, plus the
+// embedded kernel view.
+func TestSimulatorStats(t *testing.T) {
+	s := New(cfg(8), sched.NewLSF())
+	s.Submit(job.New(1, "u", "g", 8, 100, 100, 0))  // occupies everything
+	s.Submit(job.New(2, "u", "g", 8, 100, 100, 10)) // waits for 1
+	s.Submit(job.New(3, "u", "g", 4, 50, 50, 20))   // waits too: no hole until 100
+	s.Run()
+
+	st := s.Stats()
+	if st.Submitted != 3 {
+		t.Errorf("submitted = %d, want 3", st.Submitted)
+	}
+	if st.Dispatched != 3 {
+		t.Errorf("dispatched = %d, want 3", st.Dispatched)
+	}
+	if st.Passes == 0 {
+		t.Error("no scheduling passes counted")
+	}
+	if st.Kernel.Executed == 0 || st.Kernel.Scheduled < st.Kernel.Executed {
+		t.Errorf("kernel view implausible: %+v", st.Kernel)
+	}
+
+	// Direct starts and kills (the interstitial path).
+	s2 := New(cfg(8), sched.NewLSF())
+	ij := job.NewInterstitial(100, 2, 50, 0)
+	s2.StartDirect(ij)
+	s2.Kill(ij)
+	s2.Run()
+	st2 := s2.Stats()
+	if st2.DirectStarts != 1 || st2.Kills != 1 {
+		t.Errorf("direct/kills = %d/%d, want 1/1", st2.DirectStarts, st2.Kills)
+	}
+}
+
+// TestBackfillCounted checks PassResult.Backfilled reaches the stats: a
+// narrow job starting around a blocked wide head is a backfill fill.
+func TestBackfillCounted(t *testing.T) {
+	s := New(cfg(8), sched.NewLSF())
+	s.Submit(job.New(1, "u", "g", 6, 100, 100, 0)) // runs, leaves 2 free
+	s.Submit(job.New(2, "u", "g", 8, 100, 100, 1)) // head: needs the whole machine
+	s.Submit(job.New(3, "u", "g", 2, 10, 10, 2))   // fits the hole, done before 100
+	s.Run()
+	if st := s.Stats(); st.Backfilled != 1 {
+		t.Errorf("backfilled = %d, want 1", st.Backfilled)
+	}
+}

@@ -59,7 +59,7 @@ func (r *AblationResult) Render(w io.Writer) error {
 
 // runScenario co-simulates a continual interstitial run on an explicit
 // system/log/policy and summarizes it as an ablation row.
-func runScenario(label string, sys testbed.System, log []*job.Job, spec core.JobSpec, capUtil float64) ablationRow {
+func runScenario(l *Lab, label string, sys testbed.System, log []*job.Job, spec core.JobSpec, capUtil float64) ablationRow {
 	natives := job.CloneAll(log)
 	sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
 	sm.Submit(natives...)
@@ -75,6 +75,7 @@ func runScenario(label string, sys testbed.System, log []*job.Job, spec core.Job
 	} else {
 		sm.Run()
 	}
+	l.observeSim(sm)
 	all := append(append([]*job.Job{}, natives...), inter...)
 	overall, native := stats.UtilizationByClass(all, sys.Workload.Machine.CPUs, 0, horizon)
 	waits := stats.Summarize(stats.Waits(natives, job.Native))
@@ -117,7 +118,7 @@ func AblationEstimates(l *Lab) *AblationResult {
 		{"uniform 2× estimates", func(j *job.Job) { j.Estimate = 2 * j.Runtime }},
 	}
 	res.Rows = make([]ablationRow, len(variants))
-	l.pool.forEach(len(variants), func(i int) {
+	l.fanout(len(variants), func(i int) {
 		v := variants[i]
 		log := job.CloneAll(b.log)
 		if v.mut != nil {
@@ -125,7 +126,7 @@ func AblationEstimates(l *Lab) *AblationResult {
 				v.mut(j)
 			}
 		}
-		res.Rows[i] = runScenario(v.label, b.sys, log, spec, 0)
+		res.Rows[i] = runScenario(l, v.label, b.sys, log, spec, 0)
 	})
 	return res
 }
@@ -151,14 +152,14 @@ func AblationBackfill(l *Lab) *AblationResult {
 	// Flatten to (flavor, with/without) scenarios: all six simulations are
 	// independent.
 	res.Rows = make([]ablationRow, 2*len(flavors))
-	l.pool.forEach(2*len(flavors), func(i int) {
+	l.fanout(2*len(flavors), func(i int) {
 		v := flavors[i/2]
 		sys := b.sys
 		sys.NewPolicy = v.pol
 		if i%2 == 0 {
-			res.Rows[i] = runScenario(v.label+" native-only", sys, b.log, core.JobSpec{}, 0)
+			res.Rows[i] = runScenario(l, v.label+" native-only", sys, b.log, core.JobSpec{}, 0)
 		} else {
-			res.Rows[i] = runScenario(v.label+" +interstitial", sys, b.log, spec, 0)
+			res.Rows[i] = runScenario(l, v.label+" +interstitial", sys, b.log, spec, 0)
 		}
 	})
 	return res
@@ -176,12 +177,12 @@ func AblationBurstiness(l *Lab) *AblationResult {
 	}
 	bursts := []float64{0, 0.6, 1.0}
 	res.Rows = make([]ablationRow, len(bursts))
-	l.pool.forEach(len(bursts), func(i int) {
+	l.fanout(len(bursts), func(i int) {
 		sys := o.scaled(testbed.BlueMountain())
 		sys.Workload.Burstiness = bursts[i]
 		log := workload.Generate(sys.Workload, o.Seed)
 		spec := core.JobSpec{CPUs: 32, Runtime: sys.Seconds1GHz(120)}
-		res.Rows[i] = runScenario(fmt.Sprintf("burstiness %.1f", bursts[i]), sys, log, spec, 0)
+		res.Rows[i] = runScenario(l, fmt.Sprintf("burstiness %.1f", bursts[i]), sys, log, spec, 0)
 	})
 	return res
 }
@@ -197,9 +198,9 @@ func AblationJobLength(l *Lab) *AblationResult {
 	}
 	secs := []float64{30, 120, 480, 960, 3840}
 	res.Rows = make([]ablationRow, len(secs))
-	l.pool.forEach(len(secs), func(i int) {
+	l.fanout(len(secs), func(i int) {
 		spec := core.JobSpec{CPUs: 32, Runtime: b.sys.Seconds1GHz(secs[i])}
-		res.Rows[i] = runScenario(fmt.Sprintf("%.0fs@1GHz (%ds)", secs[i], spec.Runtime), b.sys, b.log, spec, 0)
+		res.Rows[i] = runScenario(l, fmt.Sprintf("%.0fs@1GHz (%ds)", secs[i], spec.Runtime), b.sys, b.log, spec, 0)
 	})
 	return res
 }
@@ -226,14 +227,14 @@ func AblationPreemption(l *Lab) *AblationResult {
 		{"preempt, ckpt 600s", &core.Preemption{CheckpointEvery: 600}},
 	}
 	res.Rows = make([]ablationRow, len(variants))
-	l.pool.forEach(len(variants), func(i int) {
-		res.Rows[i] = runScenarioPre(variants[i].label, b.sys, b.log, spec, variants[i].pre)
+	l.fanout(len(variants), func(i int) {
+		res.Rows[i] = runScenarioPre(l, variants[i].label, b.sys, b.log, spec, variants[i].pre)
 	})
 	return res
 }
 
 // runScenarioPre is runScenario with a preemption policy attached.
-func runScenarioPre(label string, sys testbed.System, log []*job.Job, spec core.JobSpec, pre *core.Preemption) ablationRow {
+func runScenarioPre(l *Lab, label string, sys testbed.System, log []*job.Job, spec core.JobSpec, pre *core.Preemption) ablationRow {
 	natives := job.CloneAll(log)
 	sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
 	sm.Submit(natives...)
@@ -243,6 +244,7 @@ func runScenarioPre(label string, sys testbed.System, log []*job.Job, spec core.
 	ctrl.Preempt = pre
 	ctrl.Attach(sm)
 	sm.Run()
+	l.observeSim(sm)
 	all := append(append([]*job.Job{}, natives...), ctrl.Jobs...)
 	overall, native := stats.UtilizationByClass(all, sys.Workload.Machine.CPUs, 0, horizon)
 	waits := stats.Summarize(stats.Waits(natives, job.Native))
@@ -288,7 +290,7 @@ func AblationPrediction(l *Lab) *AblationResult {
 		{"perfect oracle", func() predict.Predictor { return predict.Perfect{} }},
 	}
 	res.Rows = make([]ablationRow, len(variants))
-	l.pool.forEach(len(variants), func(i int) {
+	l.fanout(len(variants), func(i int) {
 		v := variants[i]
 		pred := v.mk()
 		sys := b.sys
@@ -301,6 +303,7 @@ func AblationPrediction(l *Lab) *AblationResult {
 		ctrl.StopAt = sys.Workload.Duration()
 		ctrl.Attach(sm)
 		sm.Run()
+		l.observeSim(sm)
 		geo, under := predict.Accuracy(natives)
 		row := summarizeContinual(sys, natives, ctrl.Jobs)
 		row.Label = fmt.Sprintf("%s [est/actual geo=%.1fx under=%.0f%%]", v.label, geo, under*100)
@@ -354,7 +357,7 @@ func AblationGuard(l *Lab) *AblationResult {
 		{"Multifactor (SLURM-style)", func() sched.Policy { return sched.NewMultifactor() }},
 	}
 	res.Rows = make([]ablationRow, 2*len(pols))
-	l.pool.forEach(2*len(pols), func(i int) {
+	l.fanout(2*len(pols), func(i int) {
 		pol, ignore := pols[i/2], i%2 == 1
 		sys := b.sys
 		sys.NewPolicy = pol.mk
@@ -366,6 +369,7 @@ func AblationGuard(l *Lab) *AblationResult {
 		ctrl.IgnorePlan = ignore
 		ctrl.Attach(sm)
 		sm.Run()
+		l.observeSim(sm)
 		row := summarizeContinual(sys, natives, ctrl.Jobs)
 		guard := "guard on"
 		if ignore {
@@ -388,9 +392,9 @@ func AblationJobWidth(l *Lab) *AblationResult {
 	}
 	widths := []int{1, 8, 32, 128, 512}
 	res.Rows = make([]ablationRow, len(widths))
-	l.pool.forEach(len(widths), func(i int) {
+	l.fanout(len(widths), func(i int) {
 		spec := core.JobSpec{CPUs: widths[i], Runtime: b.sys.Seconds1GHz(120)}
-		res.Rows[i] = runScenario(fmt.Sprintf("%d CPUs/job", widths[i]), b.sys, b.log, spec, 0)
+		res.Rows[i] = runScenario(l, fmt.Sprintf("%d CPUs/job", widths[i]), b.sys, b.log, spec, 0)
 	})
 	return res
 }
@@ -408,12 +412,12 @@ func UtilizationSweep(l *Lab) *AblationResult {
 	}
 	utils := []float64{0.50, 0.65, 0.79, 0.88, 0.95}
 	res.Rows = make([]ablationRow, len(utils))
-	l.pool.forEach(len(utils), func(i int) {
+	l.fanout(len(utils), func(i int) {
 		sys := o.scaled(testbed.BlueMountain())
 		sys.Workload.TargetUtil = utils[i]
 		log := workload.Generate(sys.Workload, o.Seed)
 		spec := core.JobSpec{CPUs: 32, Runtime: sys.Seconds1GHz(120)}
-		res.Rows[i] = runScenario(fmt.Sprintf("native load %.2f", utils[i]), sys, log, spec, 0)
+		res.Rows[i] = runScenario(l, fmt.Sprintf("native load %.2f", utils[i]), sys, log, spec, 0)
 	})
 	return res
 }
@@ -427,12 +431,12 @@ func AblationCapSweep(l *Lab) *AblationResult {
 	}
 	caps := []float64{0.85, 0.90, 0.93, 0.95, 0.98, 1.0, 0}
 	res.Rows = make([]ablationRow, len(caps))
-	l.pool.forEach(len(caps), func(i int) {
+	l.fanout(len(caps), func(i int) {
 		label := fmt.Sprintf("cap %.2f", caps[i])
 		if caps[i] == 0 {
 			label = "uncapped"
 		}
-		res.Rows[i] = runScenario(label, b.sys, b.log, spec, caps[i])
+		res.Rows[i] = runScenario(l, label, b.sys, b.log, spec, caps[i])
 	})
 	return res
 }

@@ -208,12 +208,13 @@ func Figure4Outages(l *Lab) *Figure4Result {
 	// The with/without runs are independent simulations of the same log:
 	// run both sides concurrently.
 	var baseline, all []*job.Job
-	l.pool.forEach(2, func(i int) {
+	l.fanout(2, func(i int) {
 		if i == 0 {
 			baseline = job.CloneAll(log)
 			sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
 			sm.Submit(baseline...)
 			sm.Run()
+			l.observeSim(sm)
 			return
 		}
 		withJobs := job.CloneAll(log)
@@ -223,6 +224,7 @@ func Figure4Outages(l *Lab) *Figure4Result {
 		ctrl.StopAt = horizon
 		ctrl.Attach(sm)
 		sm.Run()
+		l.observeSim(sm)
 		all = append(append([]*job.Job{}, withJobs...), ctrl.Jobs...)
 	})
 	return &Figure4Result{

@@ -23,6 +23,7 @@ import (
 	"interstitial/internal/core"
 	"interstitial/internal/engine"
 	"interstitial/internal/job"
+	"interstitial/internal/obs"
 	"interstitial/internal/sim"
 	"interstitial/internal/testbed"
 )
@@ -148,14 +149,30 @@ type continualEntry struct {
 // computation. Precompute fans out a table's whole working set ahead of
 // rendering.
 //
+// A Lab is a light handle over a shared core: the registry hands each
+// experiment a derived view (withCells) so work-cell counts attribute to
+// the experiment that fanned them out while all artifacts, the pool, and
+// the metrics stay shared.
+//
 // Determinism contract: for a given Options (Workers excluded), every
 // artifact and every rendered table is byte-for-byte identical at any
 // worker count. All randomness is derived from (Seed, replication index),
 // and parallel loops write results into pre-indexed slices, so scheduling
-// order can never leak into output.
+// order can never leak into output. Metrics are observation-only and never
+// feed back into simulation or rendering (tested).
 type Lab struct {
+	*labCore
+
+	// cells, when non-nil, additionally attributes this view's fan-out
+	// cells to one experiment (see Registry.RunAll).
+	cells *obs.Counter
+}
+
+// labCore is the shared state behind every view of a Lab.
+type labCore struct {
 	opts Options
 	pool *pool
+	met  *labMetrics
 
 	mu        sync.Mutex // guards the maps, never held while computing
 	baselines map[string]*baselineEntry
@@ -170,19 +187,70 @@ type Lab struct {
 // NewLab builds a lab for the options.
 func NewLab(o Options) *Lab {
 	o = o.normalized()
-	return &Lab{
+	met := newLabMetrics()
+	return &Lab{labCore: &labCore{
 		opts:      o,
-		pool:      newPool(o.Workers),
+		pool:      newPool(o.Workers, met),
+		met:       met,
 		baselines: make(map[string]*baselineEntry),
 		continual: make(map[continualKey]*continualEntry),
+	}}
+}
+
+// withCells derives a view of the lab whose fanout calls also count into
+// c. The view shares every artifact, the pool, and the metrics registry.
+func (l *Lab) withCells(c *obs.Counter) *Lab {
+	return &Lab{labCore: l.labCore, cells: c}
+}
+
+// Metrics returns the lab's metrics registry for reporting (snapshot,
+// text dump, expvar publication).
+func (l *Lab) Metrics() *obs.Registry { return l.met.reg }
+
+// Timings returns the per-experiment timing report, filled by
+// Registry.RunAll.
+func (l *Lab) Timings() *obs.Timings { return l.met.timings }
+
+// fanout runs fn(i) for i in [0, n) on the lab's worker pool, counting the
+// n work cells globally and, on an experiment view, to that experiment.
+// Every experiment-level parallel loop goes through here.
+func (l *Lab) fanout(n int, fn func(i int)) {
+	if n > 0 {
+		l.met.cells.Add(uint64(n))
+		if l.cells != nil {
+			l.cells.Add(uint64(n))
+		}
 	}
+	l.pool.forEach(n, fn)
+}
+
+// observeSim folds a finished simulator's kernel and scheduler counters
+// into the lab's metrics. Call it once per completed run; it reads the
+// simulator from the calling goroutine, so call it where the run finished.
+func (l *labCore) observeSim(sm *engine.Simulator) {
+	st := sm.Stats()
+	m := l.met
+	m.simEvents.Add(st.Kernel.Executed)
+	m.simScheduled.Add(st.Kernel.Scheduled)
+	m.simDrained.Add(st.Kernel.Drained)
+	m.simFreeHits.Add(st.Kernel.FreeListHits)
+	m.simFreeMisses.Add(st.Kernel.FreeListMisses)
+	m.simHeapHighWater.Observe(int64(st.Kernel.HeapHighWater))
+	m.engSubmitted.Add(st.Submitted)
+	m.engDispatched.Add(st.Dispatched)
+	m.engBackfilled.Add(st.Backfilled)
+	m.engDirectStarts.Add(st.DirectStarts)
+	m.engKills.Add(st.Kills)
+	m.engPasses.Add(st.Passes)
+	m.simRuns.Inc()
+	m.simRunEvents.Observe(float64(st.Kernel.Executed))
 }
 
 // Options returns the normalized options.
-func (l *Lab) Options() Options { return l.opts }
+func (l *labCore) Options() Options { return l.opts }
 
 // System returns the (possibly scaled) testbed system by name.
-func (l *Lab) System(name string) testbed.System {
+func (l *labCore) System(name string) testbed.System {
 	for _, s := range testbed.All() {
 		if s.Name == name {
 			return l.opts.scaled(s)
@@ -194,7 +262,7 @@ func (l *Lab) System(name string) testbed.System {
 // Baseline returns the memoized calibrated log + native-only run for a
 // system. Concurrent callers for the same system coalesce onto one
 // computation; different systems compute in parallel.
-func (l *Lab) Baseline(name string) *baseline {
+func (l *labCore) Baseline(name string) *baseline {
 	l.mu.Lock()
 	e, ok := l.baselines[name]
 	if !ok {
@@ -202,21 +270,28 @@ func (l *Lab) Baseline(name string) *baseline {
 		l.baselines[name] = e
 	}
 	l.mu.Unlock()
+	computed := false
 	e.once.Do(func() {
+		computed = true
 		l.baselineComputes.Add(1)
+		l.met.baselineComputes.Inc()
 		sys := l.System(name)
 		log := sys.CalibratedLog(l.opts.Seed, 0.015)
 		ran := job.CloneAll(log)
 		sm, util := sys.RunNative(ran)
+		l.observeSim(sm)
 		e.b = &baseline{sys: sys, log: log, ran: ran, sim: sm, utilNat: util}
 	})
+	if !computed {
+		l.met.baselineHits.Inc()
+	}
 	return e.b
 }
 
 // Continual returns the memoized continual-interstitial run for a system
 // and job spec, with an optional utilization cap (in percent). Per-key
 // singleflight, like Baseline.
-func (l *Lab) Continual(name string, spec core.JobSpec, capPct int) *continualRun {
+func (l *labCore) Continual(name string, spec core.JobSpec, capPct int) *continualRun {
 	key := continualKey{system: name, cpus: spec.CPUs, runtime: spec.Runtime, cap: capPct}
 	l.mu.Lock()
 	e, ok := l.continual[key]
@@ -225,8 +300,11 @@ func (l *Lab) Continual(name string, spec core.JobSpec, capPct int) *continualRu
 		l.continual[key] = e
 	}
 	l.mu.Unlock()
+	computed := false
 	e.once.Do(func() {
+		computed = true
 		l.continualComputes.Add(1)
+		l.met.continualComputes.Inc()
 		b := l.Baseline(name)
 		natives := job.CloneAll(b.log)
 		sm := b.sys.NewSimulator()
@@ -238,8 +316,12 @@ func (l *Lab) Continual(name string, spec core.JobSpec, capPct int) *continualRu
 		}
 		ctrl.Attach(sm)
 		sm.Run()
+		l.observeSim(sm)
 		e.r = &continualRun{natives: natives, interstitial: ctrl.Jobs, ctrl: ctrl}
 	})
+	if !computed {
+		l.met.continualHits.Inc()
+	}
 	return e.r
 }
 

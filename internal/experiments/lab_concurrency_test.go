@@ -96,7 +96,7 @@ func TestPrecomputeWarmsKeys(t *testing.T) {
 // produces (experiment fan-out inside registry fan-out) on a tiny pool.
 // A blocking semaphore would deadlock here; tryAcquire must not.
 func TestPoolNestedForEachNoDeadlock(t *testing.T) {
-	p := newPool(2)
+	p := newPool(2, newLabMetrics())
 	var mu sync.Mutex
 	total := 0
 	p.forEach(4, func(int) {

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"interstitial/internal/core"
+)
+
+// metricsTestNames is a cheap mix that exercises baselines, continual
+// runs, a memoized sweep, and per-experiment fan-outs.
+func metricsTestNames() []string {
+	return []string{"table2", "table5", "table6"}
+}
+
+// renderAll renders results in order into one buffer, as cmd/experiments
+// does.
+func renderAll(t *testing.T, rs []Renderer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range rs {
+		if err := r.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestMetricsDoNotPerturbOutput is the determinism guarantee for the
+// observability layer: rendered table bytes are identical whether metrics
+// and timings are snapshotted, dumped, and inspected mid-run — or never
+// touched at all — and identical to a serial (Workers=1) run.
+func TestMetricsDoNotPerturbOutput(t *testing.T) {
+	names := metricsTestNames()
+
+	plain := testLab()
+	rs, err := NewRegistry(plain).RunAll(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, rs)
+
+	// Observed run: hammer the metrics API between and after experiments.
+	observed := NewLab(Options{Seed: 1, Scale: 0.08, Reps: 4, Samples: 60})
+	_ = observed.Metrics().Snapshot() // pre-run snapshot
+	rs2, err := NewRegistry(observed).RunAll(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump strings.Builder
+	if err := observed.Metrics().Snapshot().WriteText(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if err := observed.Timings().WriteTable(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if got := renderAll(t, rs2); !bytes.Equal(got, want) {
+		t.Fatal("metrics consumption changed rendered output")
+	}
+
+	// Serial run: same bytes at Workers=1 with metrics read.
+	serial := NewLab(Options{Seed: 1, Scale: 0.08, Reps: 4, Samples: 60, Workers: 1})
+	rs3, err := NewRegistry(serial).RunAll(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.Metrics().Snapshot().WriteText(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if got := renderAll(t, rs3); !bytes.Equal(got, want) {
+		t.Fatal("serial run with metrics differs from parallel run")
+	}
+}
+
+// TestLabMetricsCollected sanity-checks the counter inventory after a
+// real run: kernel events flow, backfills are seen, singleflight hits are
+// distinguished from computes, and the pool accounts for its tasks.
+func TestLabMetricsCollected(t *testing.T) {
+	l := testLab()
+	reg := NewRegistry(l)
+	if _, err := reg.RunAll(metricsTestNames()); err != nil {
+		t.Fatal(err)
+	}
+	s := l.Metrics().Snapshot()
+
+	positive := []string{
+		"sim_events_dispatched_total",
+		"sim_events_scheduled_total",
+		"sim_freelist_hits_total",
+		"sim_heap_high_water",
+		"sim_runs_total",
+		"engine_submissions_total",
+		"engine_dispatches_total",
+		"engine_backfill_fills_total",
+		"engine_interstitial_starts_total",
+		"engine_passes_total",
+		"lab_baseline_computes_total",
+		"lab_continual_computes_total",
+		"exp_cells_total",
+		"pool_tasks_total",
+		"pool_workers_peak",
+	}
+	for _, name := range positive {
+		m, ok := s.Get(name)
+		if !ok {
+			t.Errorf("metric %s not registered", name)
+			continue
+		}
+		if m.Value <= 0 {
+			t.Errorf("metric %s = %v, want > 0", name, m.Value)
+		}
+	}
+
+	// Scheduled >= executed; hits+misses == scheduled.
+	sched, _ := s.Get("sim_events_scheduled_total")
+	exec, _ := s.Get("sim_events_dispatched_total")
+	hits, _ := s.Get("sim_freelist_hits_total")
+	misses, _ := s.Get("sim_freelist_misses_total")
+	if sched.Value < exec.Value {
+		t.Errorf("scheduled %v < executed %v", sched.Value, exec.Value)
+	}
+	if hits.Value+misses.Value != sched.Value {
+		t.Errorf("freelist hits %v + misses %v != scheduled %v", hits.Value, misses.Value, sched.Value)
+	}
+
+	// Table5 and Table6 both consume the Blue Mountain baseline the other
+	// warmed: there must be singleflight hits.
+	bh, _ := s.Get("lab_baseline_hits_total")
+	if bh.Value <= 0 {
+		t.Errorf("baseline singleflight hits = %v, want > 0", bh.Value)
+	}
+
+	// The run-events histogram saw every observed run.
+	h, ok := s.Get("sim_run_events")
+	if !ok || h.Count == 0 {
+		t.Fatalf("sim_run_events histogram empty (ok=%v)", ok)
+	}
+	runs, _ := s.Get("sim_runs_total")
+	if float64(h.Count) != runs.Value {
+		t.Errorf("histogram count %d != sim_runs_total %v", h.Count, runs.Value)
+	}
+}
+
+// TestTimingReportRows checks RunAll fills the timing report in
+// evaluation order with attributed cells, and that shared-sweep cells land
+// in the "(shared)" row rather than a racy winner.
+func TestTimingReportRows(t *testing.T) {
+	l := testLab()
+	names := metricsTestNames()
+	if _, err := NewRegistry(l).RunAll(names); err != nil {
+		t.Fatal(err)
+	}
+	rows := l.Timings().Rows()
+	if len(rows) < len(names) {
+		t.Fatalf("timing rows = %d, want >= %d", len(rows), len(names))
+	}
+	for i, name := range names {
+		if rows[i].Name != name {
+			t.Errorf("row %d = %s, want %s (evaluation order)", i, rows[i].Name, name)
+		}
+	}
+	// table5 fans its scenarios out itself: attributed cells.
+	if rows[1].Cells == 0 {
+		t.Error("table5 attributed 0 cells")
+	}
+	// table2's sweep is memoized on the root lab: cells go to "(shared)".
+	var sharedCells uint64
+	found := false
+	for _, row := range rows {
+		if row.Name == "(shared)" {
+			found, sharedCells = true, row.Cells
+		}
+	}
+	if !found || sharedCells == 0 {
+		t.Fatalf("no (shared) row with cells, rows = %+v", rows)
+	}
+}
+
+// TestObserveSimFoldsKernelCounters drives one continual artifact and
+// checks the kernel counters arrive scaled to the run.
+func TestObserveSimFoldsKernelCounters(t *testing.T) {
+	l := testLab()
+	spec := core.JobSpec{CPUs: 32, Runtime: l.System("Blue Mountain").Seconds1GHz(120)}
+	l.Continual("Blue Mountain", spec, 0)
+	s := l.Metrics().Snapshot()
+	runs, _ := s.Get("sim_runs_total")
+	if runs.Value != 2 { // baseline native run + continual run
+		t.Errorf("sim_runs_total = %v, want 2", runs.Value)
+	}
+	ev, _ := s.Get("sim_events_dispatched_total")
+	subs, _ := s.Get("engine_submissions_total")
+	if ev.Value <= subs.Value {
+		t.Errorf("events %v <= submissions %v: kernel counters not folded", ev.Value, subs.Value)
+	}
+}

@@ -15,18 +15,24 @@ import (
 // deadlock-free by construction — a waiting parent never holds the slot
 // its children need — and means forEach degrades to a plain serial loop
 // when Workers=1.
+//
+// The pool reports occupancy into the lab's metrics: tasks executed,
+// helpers spawned, and a live/peak count of goroutines working a fan-out.
+// The updates are per-task and per-worker (never per simulated event), so
+// their cost vanishes against the work they count.
 type pool struct {
 	slots chan struct{}
+	met   *labMetrics
 }
 
 // newPool builds a pool with workers total slots (minimum 1). The slot
 // count bounds *extra* goroutines; the submitting goroutine always works
 // too, so total parallelism is workers.
-func newPool(workers int) *pool {
+func newPool(workers int, met *labMetrics) *pool {
 	if workers < 1 {
 		workers = 1
 	}
-	return &pool{slots: make(chan struct{}, workers-1)}
+	return &pool{slots: make(chan struct{}, workers-1), met: met}
 }
 
 // tryAcquire takes a helper slot if one is free.
@@ -53,21 +59,26 @@ func (p *pool) forEach(n int, fn func(i int)) {
 	}
 	if n == 1 {
 		fn(0)
+		p.met.poolTasks.Inc()
 		return
 	}
 	var next atomic.Int64
 	work := func() {
+		p.met.poolPeak.Observe(p.met.poolActive.Add(1))
+		defer p.met.poolActive.Add(-1)
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
 			fn(i)
+			p.met.poolTasks.Inc()
 		}
 	}
 	var wg sync.WaitGroup
 	for h := 0; h < n-1 && p.tryAcquire(); h++ {
 		wg.Add(1)
+		p.met.poolInflated.Inc()
 		go func() {
 			defer wg.Done()
 			defer p.release()

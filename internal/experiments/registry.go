@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"interstitial/internal/obs"
 )
 
 // Registry resolves experiment names to runners, caching the shared
@@ -61,10 +64,18 @@ func (g *Registry) table4() *Table4Result {
 }
 
 // Run executes one experiment by name.
-func (g *Registry) Run(name string) (Renderer, error) {
+func (g *Registry) Run(name string) (Renderer, error) { return g.runOn(g.lab, name) }
+
+// runOn executes one experiment against a specific lab view, so RunAll can
+// attribute each experiment's fan-out cells to it. The memoized Table 2 /
+// Table 4 sweeps deliberately run on the root lab: they are shared by
+// several experiments, and attributing them to whichever requester won the
+// singleflight race would make the timing report depend on scheduling.
+// Their cells appear in the report's "(shared)" row instead.
+func (g *Registry) runOn(l *Lab, name string) (Renderer, error) {
 	switch name {
 	case "table1":
-		return Table1(g.lab), nil
+		return Table1(l), nil
 	case "table2":
 		return g.table2()
 	case "table3":
@@ -72,7 +83,7 @@ func (g *Registry) Run(name string) (Renderer, error) {
 		if err != nil {
 			return nil, err
 		}
-		return Table3(g.lab, t2), nil
+		return Table3(l, t2), nil
 	case "theoryfit":
 		t2, err := g.table2()
 		if err != nil {
@@ -88,51 +99,51 @@ func (g *Registry) Run(name string) (Renderer, error) {
 	case "table4":
 		return g.table4(), nil
 	case "figure3":
-		return Figure3(g.lab, g.table4()), nil
+		return Figure3(l, g.table4()), nil
 	case "table5":
-		return Table5(g.lab), nil
+		return Table5(l), nil
 	case "table6":
-		return Table6(g.lab), nil
+		return Table6(l), nil
 	case "table7":
-		return Table7(g.lab), nil
+		return Table7(l), nil
 	case "table8ross":
-		return Table8Ross(g.lab), nil
+		return Table8Ross(l), nil
 	case "table8limited":
-		return Table8Limited(g.lab), nil
+		return Table8Limited(l), nil
 	case "figure4":
-		return Figure4(g.lab), nil
+		return Figure4(l), nil
 	case "figure4-outages":
-		return Figure4Outages(g.lab), nil
+		return Figure4Outages(l), nil
 	case "figure5":
-		return Figure5(g.lab), nil
+		return Figure5(l), nil
 	case "figure6":
-		return Figure6(g.lab), nil
+		return Figure6(l), nil
 	case "validate-sampling":
-		return ValidateSampling(g.lab), nil
+		return ValidateSampling(l), nil
 	case "correlations":
-		return Correlations(g.lab), nil
+		return Correlations(l), nil
 	case "seed-robustness":
-		return SeedRobustness(g.lab, 5), nil
+		return SeedRobustness(l, 5), nil
 	case "ablation-estimates":
-		return AblationEstimates(g.lab), nil
+		return AblationEstimates(l), nil
 	case "ablation-backfill":
-		return AblationBackfill(g.lab), nil
+		return AblationBackfill(l), nil
 	case "ablation-burstiness":
-		return AblationBurstiness(g.lab), nil
+		return AblationBurstiness(l), nil
 	case "ablation-joblength":
-		return AblationJobLength(g.lab), nil
+		return AblationJobLength(l), nil
 	case "ablation-jobwidth":
-		return AblationJobWidth(g.lab), nil
+		return AblationJobWidth(l), nil
 	case "ablation-guard":
-		return AblationGuard(g.lab), nil
+		return AblationGuard(l), nil
 	case "utilization-sweep":
-		return UtilizationSweep(g.lab), nil
+		return UtilizationSweep(l), nil
 	case "ablation-prediction":
-		return AblationPrediction(g.lab), nil
+		return AblationPrediction(l), nil
 	case "ablation-preemption":
-		return AblationPreemption(g.lab), nil
+		return AblationPreemption(l), nil
 	case "ablation-capsweep":
-		return AblationCapSweep(g.lab), nil
+		return AblationCapSweep(l), nil
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (valid: %v)", name, AllNames())
 }
@@ -143,12 +154,31 @@ func (g *Registry) Run(name string) (Renderer, error) {
 // Table 2 / Table 4 sweeps) coalesce on them instead of recomputing. The
 // first error (in name order) is returned, with results for the
 // experiments that succeeded.
+//
+// RunAll also fills the lab's timing report: each experiment's wall time
+// and the work cells its own fan-outs produced, recorded in evaluation
+// order after the barrier, plus a "(shared)" row for cells spent in the
+// memoized cross-experiment sweeps. Timing is observation only — results
+// and rendered bytes are identical whether the report is read or not.
 func (g *Registry) RunAll(names []string) ([]Renderer, error) {
 	out := make([]Renderer, len(names))
 	errs := make([]error, len(names))
+	walls := make([]time.Duration, len(names))
+	cells := make([]obs.Counter, len(names))
+	before := g.lab.met.cells.Load()
 	g.lab.pool.forEach(len(names), func(i int) {
-		out[i], errs[i] = g.Run(names[i])
+		t0 := time.Now()
+		out[i], errs[i] = g.runOn(g.lab.withCells(&cells[i]), names[i])
+		walls[i] = time.Since(t0)
 	})
+	var attributed uint64
+	for i, name := range names {
+		g.lab.met.timings.Record(name, walls[i], cells[i].Load())
+		attributed += cells[i].Load()
+	}
+	if total := g.lab.met.cells.Load() - before; total > attributed {
+		g.lab.met.timings.Record("(shared)", 0, total-attributed)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return out, err

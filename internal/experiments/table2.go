@@ -106,7 +106,7 @@ func Table2(l *Lab) (*Table2Result, error) {
 	// Flatten to (cell, rep) tasks: replications are independent packs
 	// into clones of the same timeline.
 	reps := o.Reps
-	l.pool.forEach(len(cells)*reps, func(t int) {
+	l.fanout(len(cells)*reps, func(t int) {
 		c, k := cells[t/reps], t%reps
 		pr, err := core.PackProject(c.free.Clone(), c.spec, c.starts[k], c.proj.KJobs)
 		if err != nil {

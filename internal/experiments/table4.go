@@ -94,7 +94,7 @@ func Table4(l *Lab) *Table4Result {
 	l.Precompute(keys...)
 
 	nm := len(res.Machines)
-	l.pool.forEach(len(projects)*nm, func(t int) {
+	l.fanout(len(projects)*nm, func(t int) {
 		i, m := t/nm, t%nm
 		p, name := projects[i], res.Machines[m]
 		b := l.Baseline(name)

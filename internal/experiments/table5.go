@@ -51,7 +51,7 @@ func Table5(l *Lab) *Table5Result {
 	// out over the lab's pool, landing each scenario in its slot.
 	res.Scenarios = make([]Table5Scenario, 1+len(scens))
 	res.Scenarios[0] = summarizeNatives("Native", b.ran, 0)
-	l.pool.forEach(len(scens), func(i int) {
+	l.fanout(len(scens), func(i int) {
 		sc := scens[i]
 		natives := job.CloneAll(b.log)
 		sm := b.sys.NewSimulator()
@@ -61,6 +61,7 @@ func Table5(l *Lab) *Table5Result {
 		ctrl.StopAt = horizon * 4 // projects may outlive the log
 		ctrl.Attach(sm)
 		sm.Run()
+		l.observeSim(sm)
 		res.Scenarios[1+i] = summarizeNatives(sc.label, natives, len(ctrl.Jobs))
 	})
 	return res

@@ -54,7 +54,7 @@ func ValidateSampling(l *Lab) *ValidateSamplingResult {
 		extracted, directT sim.Time
 	}
 	wins := make([]window, len(pcts))
-	l.pool.forEach(len(pcts), func(i int) {
+	l.fanout(len(pcts), func(i int) {
 		t1 := horizon / 100 * sim.Time(pcts[i])
 		extracted, ok := sampleShortTerm(run, t1, p.KJobs)
 		if !ok {
@@ -67,6 +67,7 @@ func ValidateSampling(l *Lab) *ValidateSamplingResult {
 		ctrl := core.NewProject(spec, p.KJobs, t1)
 		ctrl.Attach(sm)
 		sm.Run()
+		l.observeSim(sm)
 		direct, err := ctrl.Makespan()
 		if err != nil {
 			return
@@ -147,7 +148,7 @@ func Correlations(l *Lab) *CorrelationsResult {
 	o := l.Options()
 	res := &CorrelationsResult{}
 	// Bursty and flattened runs are independent; run both sides at once.
-	l.pool.forEach(2, func(i int) {
+	l.fanout(2, func(i int) {
 		bursty := i == 0
 		sys := o.scaled(testbed.BlueMountain())
 		if !bursty {
@@ -158,6 +159,7 @@ func Correlations(l *Lab) *CorrelationsResult {
 		sm := sys.NewSimulator()
 		sm.Submit(natives...)
 		sm.Run()
+		l.observeSim(sm)
 		series := stats.HourlySeries(natives, sys.Workload.Machine.CPUs, sys.Workload.Duration(), 3600)
 		acf := stats.Autocorrelation(series, 24)
 		h := stats.HurstAggVar(series)
@@ -224,16 +226,16 @@ func SeedRobustness(l *Lab, nSeeds int) *SeedRobustnessResult {
 	}
 	// Flatten to (seed, base/with) tasks: 2*nSeeds independent full runs.
 	rows := make([]ablationRow, 2*nSeeds)
-	l.pool.forEach(2*nSeeds, func(i int) {
+	l.fanout(2*nSeeds, func(i int) {
 		s := int64(i / 2)
 		seed := o.Seed + s*1000
 		sys := o.scaled(testbed.BlueMountain())
 		log := workload.Generate(sys.Workload, seed)
 		if i%2 == 0 {
-			rows[i] = runScenario("base", sys, log, core.JobSpec{}, 0)
+			rows[i] = runScenario(l, "base", sys, log, core.JobSpec{}, 0)
 		} else {
 			spec := core.JobSpec{CPUs: 32, Runtime: sys.Seconds1GHz(120)}
-			rows[i] = runScenario("with", sys, log, spec, 0)
+			rows[i] = runScenario(l, "with", sys, log, spec, 0)
 		}
 	})
 	for s := 0; s < nSeeds; s++ {

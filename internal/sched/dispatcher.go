@@ -25,6 +25,11 @@ func (d *Dispatcher) Policy() Policy { return d.policy }
 type PassResult struct {
 	// Started lists the jobs dispatched at this instant, in start order.
 	Started []*job.Job
+	// Backfilled counts how many of Started jumped the queue: starts that
+	// were not the head draining in priority order (EASY's backfill loop,
+	// Conservative's out-of-order reservations-come-due). Head-of-queue
+	// and NoBackfill starts never count.
+	Backfilled int
 	// HeadReservation is the planned start time of the highest-priority
 	// job still waiting, based on user estimates — the paper's
 	// "backfillWallTime". It is sim.Infinity when the queue drained or no
@@ -135,6 +140,7 @@ func (d *Dispatcher) Schedule(now sim.Time, m *machine.Machine, q *Queue) PassRe
 					p.MinFree(now, now+planningDuration(j)) >= j.CPUs {
 					d.start(now, m, p, q.Remove(i))
 					res.Started = append(res.Started, j)
+					res.Backfilled++
 					continue
 				}
 				i++
@@ -157,6 +163,9 @@ func (d *Dispatcher) Schedule(now sim.Time, m *machine.Machine, q *Queue) PassRe
 			if at == now && m.CanStart(j.CPUs) {
 				d.start(now, m, p, q.Remove(i))
 				res.Started = append(res.Started, j)
+				if i > 0 {
+					res.Backfilled++
+				}
 				continue
 			}
 			p.Reserve(at, j.CPUs, planningDuration(j))

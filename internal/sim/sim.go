@@ -94,6 +94,41 @@ type Engine struct {
 	free     []*item // recycled items
 	executed uint64
 	stopped  bool
+
+	// Kernel counters. These are plain ints, not atomics: an Engine is
+	// single-goroutine by contract and the per-event budget (~20 ns) has
+	// no room for synchronized updates. allocs and drained bump only on
+	// cold paths (free-list miss, cancelled-event drain); heapHW costs one
+	// almost-never-taken branch per push.
+	allocs  uint64 // item allocations = free-list misses
+	drained uint64 // cancelled events removed without firing
+	heapHW  int    // pending-set high-water mark
+}
+
+// Stats is a snapshot of the kernel's counters, taken with Stats().
+type Stats struct {
+	// Scheduled counts every event ever scheduled; Executed the events
+	// that fired; Drained the cancelled events removed without firing.
+	Scheduled, Executed, Drained uint64
+	// FreeListHits counts schedulings served from the item free list;
+	// FreeListMisses the schedulings that had to allocate. Their sum is
+	// Scheduled.
+	FreeListHits, FreeListMisses uint64
+	// HeapHighWater is the largest pending-event set ever held.
+	HeapHighWater int
+}
+
+// Stats reports the kernel's counters so far. Like every Engine method it
+// must be called from the simulation's goroutine.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Scheduled:      e.seq,
+		Executed:       e.executed,
+		Drained:        e.drained,
+		FreeListHits:   e.seq - e.allocs,
+		FreeListMisses: e.allocs,
+		HeapHighWater:  e.heapHW,
+	}
 }
 
 // New returns an empty engine with the clock at 0.
@@ -150,6 +185,7 @@ func (e *Engine) schedule(at Time, prio int, ev Event) Handle {
 		*it = item{at: at, seq: e.seq, prio: prio, event: ev}
 	} else {
 		it = &item{at: at, seq: e.seq, prio: prio, event: ev}
+		e.allocs++
 	}
 	e.push(it)
 	return Handle{it: it, seq: it.seq}
@@ -163,6 +199,9 @@ func (e *Engine) ScheduleAfter(d Time, ev Event) Handle {
 // push inserts it into the heap.
 func (e *Engine) push(it *item) {
 	e.events = append(e.events, it)
+	if len(e.events) > e.heapHW {
+		e.heapHW = len(e.events)
+	}
 	i := len(e.events) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -221,6 +260,7 @@ func (e *Engine) step() bool {
 	for len(e.events) > 0 {
 		it := e.pop()
 		if it.dead {
+			e.drained++
 			e.recycle(it)
 			continue
 		}
@@ -261,6 +301,7 @@ func (e *Engine) RunUntil(deadline Time) {
 func (e *Engine) PeekTime() (Time, bool) {
 	for len(e.events) > 0 {
 		if e.events[0].dead {
+			e.drained++
 			e.recycle(e.pop())
 			continue
 		}

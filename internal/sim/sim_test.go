@@ -301,3 +301,42 @@ func TestFreeListReusesItems(t *testing.T) {
 		t.Fatalf("schedule/run cycle allocates %.1f objects, want <=1 (free list not reusing)", allocs)
 	}
 }
+
+// TestStats checks the kernel counters: scheduled/executed/drained
+// bookkeeping, free-list hit accounting, and the heap high-water mark.
+func TestStats(t *testing.T) {
+	e := New()
+	if s := e.Stats(); s != (Stats{}) {
+		t.Fatalf("fresh engine stats = %+v, want zero", s)
+	}
+
+	// Three live events pending at once, then one cancelled.
+	h := e.Schedule(1, EventFunc(func(*Engine) {}))
+	e.Schedule(2, EventFunc(func(*Engine) {}))
+	e.Schedule(3, EventFunc(func(*Engine) {}))
+	h.Cancel()
+	e.Run()
+
+	s := e.Stats()
+	if s.Scheduled != 3 || s.Executed != 2 || s.Drained != 1 {
+		t.Errorf("scheduled/executed/drained = %d/%d/%d, want 3/2/1", s.Scheduled, s.Executed, s.Drained)
+	}
+	if s.HeapHighWater != 3 {
+		t.Errorf("heap high-water = %d, want 3", s.HeapHighWater)
+	}
+	// Cold start: every scheduling allocated.
+	if s.FreeListMisses != 3 || s.FreeListHits != 0 {
+		t.Errorf("free-list hits/misses = %d/%d, want 0/3", s.FreeListHits, s.FreeListMisses)
+	}
+
+	// Steady state: recycled items serve new schedulings without allocating.
+	e.Schedule(e.Now()+1, EventFunc(func(*Engine) {}))
+	e.Run()
+	s = e.Stats()
+	if s.FreeListHits != 1 || s.FreeListMisses != 3 {
+		t.Errorf("after reuse, hits/misses = %d/%d, want 1/3", s.FreeListHits, s.FreeListMisses)
+	}
+	if s.FreeListHits+s.FreeListMisses != s.Scheduled {
+		t.Errorf("hits+misses = %d, want Scheduled = %d", s.FreeListHits+s.FreeListMisses, s.Scheduled)
+	}
+}
