@@ -39,8 +39,11 @@ bench:
 	echo "writing BENCH_$$n.txt"; \
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -count $(BENCHCOUNT) ./... | tee BENCH_$$n.txt
 
+# Each fuzz target gets its own run (go test allows one -fuzz at a time);
+# both are seeded from checked-in corpus files under testdata/fuzz.
 fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/trace/
+	$(GO) test -fuzz FuzzMachineByName -fuzztime 30s .
 
 # Regenerate the paper at full scale (~4 min) and the extension studies.
 paper:

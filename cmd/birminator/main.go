@@ -11,7 +11,9 @@
 //
 // With no -trace, a calibrated synthetic log is generated. With
 // -interstitial-cpus 0 the run is native-only. -project-jobs > 0 runs a
-// finite project instead of continual submission.
+// finite project instead of continual submission. Invalid flags (unknown
+// machine, negative seed, utilcap outside [0,1], ...) are rejected up
+// front with exit status 2.
 package main
 
 import (
@@ -42,11 +44,31 @@ func main() {
 	dump := flag.String("dump", "", "write the simulated schedule (native + interstitial records, with waits) as SWF to this file")
 	flag.Parse()
 
-	m, err := interstitial.MachineByName(*machineName)
-	if err != nil {
-		log.Fatal(err)
+	usageError := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "birminator: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
 	}
-	if *scale > 0 && *scale < 1 {
+	m, err := interstitial.MachineByName(*machineName)
+	switch {
+	case err != nil:
+		usageError("%v", err)
+	case *seed < 0:
+		usageError("-seed %d is negative", *seed)
+	case *scale <= 0 || *scale > 1:
+		usageError("-scale %g out of (0,1]", *scale)
+	case *iCPUs < 0:
+		usageError("-interstitial-cpus %d is negative", *iCPUs)
+	case *iCPUs > 0 && *iSec <= 0:
+		usageError("-interstitial-sec1ghz %g must be positive", *iSec)
+	case *utilCap < 0 || *utilCap > 1:
+		usageError("-utilcap %g out of [0,1]", *utilCap)
+	case *projJobs < 0:
+		usageError("-project-jobs %d is negative", *projJobs)
+	case *projStartH < 0:
+		usageError("-project-start-h %g is negative", *projStartH)
+	}
+	if *scale < 1 {
 		m.Workload.Days *= *scale
 		m.Workload.Jobs = int(float64(m.Workload.Jobs) * *scale)
 	}

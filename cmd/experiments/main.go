@@ -3,7 +3,7 @@
 // Usage:
 //
 //	experiments [-seed N] [-scale F] [-reps N] [-samples N] [-workers N]
-//	            [-csv dir] [-metrics] [-pprof addr] [names...]
+//	            [-timeout D] [-csv dir] [-metrics] [-pprof addr] [names...]
 //
 // Experiments run concurrently on a worker pool bounded by -workers
 // (default: GOMAXPROCS); output is rendered in evaluation order and is
@@ -18,6 +18,12 @@
 // observation-only: the rendered tables on stdout are byte-identical with
 // or without them.
 //
+// -timeout bounds the whole run: when it expires, in-flight simulations
+// abort cooperatively (within ~4096 kernel events), completed tables are
+// still rendered, and the abandoned experiments are listed on stderr.
+// Invalid flags (negative seed, scale outside (0,1], unknown experiment
+// names, ...) are rejected up front with exit status 2.
+//
 // With no names, every paper experiment runs in evaluation order. Use
 // "ablations" for all beyond-the-paper studies, "extensions" for every
 // extension including the methodology checks, or any names from:
@@ -29,6 +35,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -40,6 +47,14 @@ import (
 	"interstitial/internal/experiments"
 )
 
+// usageError rejects bad flags before any work starts: message, usage,
+// exit 2 (the conventional flag-error status).
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "random seed for all experiments")
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]; 1.0 = paper scale")
@@ -49,8 +64,23 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each experiment's data points as <dir>/<name>.csv")
 	metrics := flag.Bool("metrics", false, "dump the metric registry and per-experiment timing to stderr after the run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long, keeping completed tables (0 = no limit)")
 	list := flag.Bool("list", false, "print the valid experiment names and exit")
 	flag.Parse()
+	switch {
+	case *seed < 0:
+		usageError("-seed %d is negative", *seed)
+	case *scale <= 0 || *scale > 1:
+		usageError("-scale %g out of (0,1]", *scale)
+	case *reps < 0:
+		usageError("-reps %d is negative", *reps)
+	case *samples < 0:
+		usageError("-samples %d is negative", *samples)
+	case *workers < 0:
+		usageError("-workers %d is negative", *workers)
+	case *timeout < 0:
+		usageError("-timeout %v is negative", *timeout)
+	}
 	if *list {
 		for _, n := range experiments.AllNames() {
 			fmt.Println(n)
@@ -64,7 +94,13 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Samples: *samples, Workers: *workers}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Samples: *samples, Workers: *workers, Ctx: ctx}
 	lab := experiments.NewLab(opts)
 	reg := experiments.NewRegistry(lab)
 
@@ -97,19 +133,29 @@ func main() {
 		names = experiments.ExtensionNames()
 	}
 
+	valid := make(map[string]bool)
+	for _, n := range experiments.AllNames() {
+		valid[n] = true
+	}
 	for i, name := range names {
 		names[i] = strings.ToLower(name)
+		if !valid[names[i]] {
+			usageError("unknown experiment %q (see -list)", name)
+		}
 	}
 	// Compute every experiment concurrently (shared artifacts coalesce in
 	// the Lab), then render in evaluation order so the output stream is
 	// identical to a serial run.
 	t0 := time.Now()
-	results, err := reg.RunAll(names)
+	results, report, err := reg.RunAll(names)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
 	for i, name := range names {
+		if results[i] == nil {
+			continue // failed or unfinished: accounted for in the report
+		}
 		if err := results[i].Render(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: rendering %s: %v\n", name, err)
 			os.Exit(1)
@@ -122,7 +168,11 @@ func main() {
 		}
 		fmt.Printf("  [%s]\n\n", name)
 	}
-	fmt.Printf("  [%d experiments in %.1fs]\n", len(names), time.Since(t0).Seconds())
+	fmt.Printf("  [%d/%d experiments in %.1fs]\n", len(report.Completed), len(names), time.Since(t0).Seconds())
+	if !report.OK() {
+		fmt.Fprintln(os.Stderr, "experiments: "+report.String())
+		defer os.Exit(1)
+	}
 
 	if *metrics {
 		fmt.Fprintf(os.Stderr, "\n=== experiment timing (elapsed %.1fs) ===\n", time.Since(t0).Seconds())

@@ -61,7 +61,7 @@ func main() {
 			m.Workload.Days *= *scale
 			m.Workload.Jobs = int(float64(m.Workload.Jobs) * *scale)
 		}
-		jobs = workload.Generate(m.Workload, *seed)
+		jobs = workload.MustGenerate(m.Workload, *seed)
 		if n == 0 {
 			n = m.Workload.Machine.CPUs
 		}

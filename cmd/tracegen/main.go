@@ -41,7 +41,7 @@ func main() {
 	if *calibrate {
 		jobs = interstitial.CalibratedLog(m, *seed)
 	} else {
-		jobs = workload.Generate(m.Workload, *seed)
+		jobs = workload.MustGenerate(m.Workload, *seed)
 	}
 
 	var w io.Writer = os.Stdout

@@ -25,7 +25,7 @@ func main() {
 	sys := testbed.BlueMountain()
 	sys.Workload.Days /= 8
 	sys.Workload.Jobs /= 8
-	logJobs := workload.Generate(sys.Workload, 21)
+	logJobs := workload.MustGenerate(sys.Workload, 21)
 
 	// Long interstitial jobs (960 s@1GHz = ~1h wallclock) make the
 	// non-preemptive damage visible.
@@ -48,7 +48,9 @@ func main() {
 		ctrl := core.NewController(spec)
 		ctrl.StopAt = sys.Workload.Duration()
 		ctrl.Preempt = v.pre
-		ctrl.Attach(sm)
+		if err := ctrl.Attach(sm); err != nil {
+			panic(err)
+		}
 		sm.Run()
 
 		var harvested float64

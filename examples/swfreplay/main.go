@@ -21,7 +21,7 @@ func main() {
 	m.Workload.Jobs /= 8
 
 	// 1. Produce a log (stand-in for a real site trace).
-	original := workload.Generate(m.Workload, 99)
+	original := workload.MustGenerate(m.Workload, 99)
 
 	// 2. Serialize to SWF — what you would do with your own accounting
 	// data — and read it back.

@@ -1,0 +1,43 @@
+package interstitial
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzMachineByName throws arbitrary names at the testbed lookup: it must
+// never panic, must accept exactly the three paper machines, and a hit
+// must return a simulatable system whose name round-trips.
+func FuzzMachineByName(f *testing.F) {
+	f.Add("Ross")
+	f.Add("Blue Mountain")
+	f.Add("Blue Pacific")
+	f.Add("")
+	f.Add("ross")
+	f.Add("Blue  Mountain")
+	f.Add("Blue Mountain\x00")
+	f.Add(strings.Repeat("R", 1<<12))
+	f.Add("\xff\xfe invalid utf8")
+	f.Fuzz(func(t *testing.T, name string) {
+		m, err := MachineByName(name)
+		if err != nil {
+			if m.Name != "" || m.NewPolicy != nil {
+				t.Fatalf("error return carried a non-zero machine: %+v", m)
+			}
+			if !strings.Contains(err.Error(), fmt.Sprintf("%q", name)) {
+				t.Fatalf("error %q does not name the rejected input %q", err, name)
+			}
+			return
+		}
+		if m.Name != name {
+			t.Fatalf("looked up %q, got machine %q", name, m.Name)
+		}
+		if m.NewPolicy == nil || m.NewPolicy() == nil {
+			t.Fatalf("machine %q has no queueing policy", name)
+		}
+		if m.Workload.Machine.CPUs < 1 || m.Workload.Machine.ClockGHz <= 0 {
+			t.Fatalf("machine %q has degenerate hardware: %+v", name, m.Workload.Machine)
+		}
+	})
+}

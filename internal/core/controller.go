@@ -49,13 +49,26 @@ type Controller struct {
 	WastedCPUSeconds float64
 
 	created int // fresh work units submitted (excludes continuations)
-	backlog []sim.Time
+	backlog []pendingWork
 	nextID  int
+	blockID int // kill-latency blocker jobs issued
+}
+
+// pendingWork is a preempted remainder awaiting resubmission: run seconds
+// of useful work plus the restart overhead its continuation job will pay
+// up front.
+type pendingWork struct {
+	run      sim.Time
+	overhead sim.Time
 }
 
 // interstitialIDBase keeps interstitial job IDs disjoint from native log
-// IDs (native logs number from 1).
-const interstitialIDBase = 10_000_000
+// IDs (native logs number from 1); killBlockerIDBase keeps the
+// kill-latency blocker jobs disjoint from both.
+const (
+	interstitialIDBase = 10_000_000
+	killBlockerIDBase  = 30_000_000
+)
 
 // NewController returns a continual controller for spec over the whole
 // simulation.
@@ -69,14 +82,15 @@ func NewProject(spec JobSpec, kJobs int, startAt sim.Time) *Controller {
 	return &Controller{Spec: spec, Limit: kJobs, StartAt: startAt, StopAt: sim.Infinity}
 }
 
-// Attach registers the controller on a simulator. Attach panics if the
-// spec is invalid or another AfterPass hook is installed.
-func (c *Controller) Attach(s *engine.Simulator) {
+// Attach registers the controller on a simulator. It reports an error —
+// never a panic — if the spec is invalid or another AfterPass hook is
+// already installed (the hook is single-owner).
+func (c *Controller) Attach(s *engine.Simulator) error {
 	if err := c.Spec.Validate(); err != nil {
-		panic(err)
+		return err
 	}
 	if s.AfterPass != nil {
-		panic("core: simulator already has an AfterPass hook")
+		return fmt.Errorf("core: simulator already has an AfterPass hook")
 	}
 	s.AfterPass = func(sm *engine.Simulator, res sched.PassResult) { c.afterPass(sm, res) }
 	// Wake the scheduler when the submission window opens, in case no
@@ -84,6 +98,7 @@ func (c *Controller) Attach(s *engine.Simulator) {
 	if c.StartAt > 0 {
 		s.RequestPassAt(c.StartAt)
 	}
+	return nil
 }
 
 // Remaining reports how many fresh jobs the controller may still submit;
@@ -130,16 +145,18 @@ func (c *Controller) afterPass(s *engine.Simulator, res sched.PassResult) {
 	for len(c.backlog) > 0 && c.admit(s, res, c.backlog[0]) {
 		c.backlog = c.backlog[1:]
 	}
-	for !c.Done() && c.Remaining() != 0 && c.admit(s, res, c.Spec.Runtime) {
+	for !c.Done() && c.Remaining() != 0 && c.admit(s, res, pendingWork{run: c.Spec.Runtime}) {
 		c.created++
 	}
 }
 
-// admit starts one interstitial job of the given runtime if every Figure-1
-// condition holds, and reports whether it did.
-func (c *Controller) admit(s *engine.Simulator, res sched.PassResult, runtime sim.Time) bool {
+// admit starts one interstitial job for the given work unit (useful run
+// time plus any restart overhead) if every Figure-1 condition holds, and
+// reports whether it did.
+func (c *Controller) admit(s *engine.Simulator, res sched.PassResult, w pendingWork) bool {
 	now := s.Now()
 	m := s.Machine()
+	runtime := w.run + w.overhead
 	if m.Free() < c.Spec.CPUs {
 		return false
 	}
@@ -158,6 +175,7 @@ func (c *Controller) admit(s *engine.Simulator, res sched.PassResult, runtime si
 	}
 	c.nextID++
 	j := job.NewInterstitial(interstitialIDBase+c.nextID, c.Spec.CPUs, runtime, now)
+	j.Overhead = w.overhead
 	s.StartDirect(j)
 	if !c.IgnorePlan && res.Plan != nil {
 		res.Plan.Reserve(now, c.Spec.CPUs, runtime)

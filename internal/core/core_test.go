@@ -74,7 +74,7 @@ func mkFinished(id, cpus int, start, end sim.Time) *job.Job {
 
 func TestFreeTimelineBasic(t *testing.T) {
 	// 100-CPU machine, one 40-CPU job on [10, 50).
-	p := FreeTimeline([]*job.Job{mkFinished(1, 40, 10, 50)}, 100, 100, 1)
+	p := MustFreeTimeline([]*job.Job{mkFinished(1, 40, 10, 50)}, 100, 100, 1)
 	if p.FreeAt(0) != 100 || p.FreeAt(10) != 60 || p.FreeAt(49) != 60 || p.FreeAt(50) != 100 {
 		t.Fatalf("timeline wrong: %v", p)
 	}
@@ -83,7 +83,7 @@ func TestFreeTimelineBasic(t *testing.T) {
 func TestFreeTimelineClipsAtHorizon(t *testing.T) {
 	// Job runs [80, 150) but horizon is 100: only [80,100) counts, and
 	// past the horizon the machine is free.
-	p := FreeTimeline([]*job.Job{mkFinished(1, 30, 80, 150)}, 100, 100, 1)
+	p := MustFreeTimeline([]*job.Job{mkFinished(1, 30, 80, 150)}, 100, 100, 1)
 	if p.FreeAt(90) != 70 {
 		t.Fatalf("free at 90 = %d, want 70", p.FreeAt(90))
 	}
@@ -93,7 +93,7 @@ func TestFreeTimelineClipsAtHorizon(t *testing.T) {
 }
 
 func TestFreeTimelineTiles(t *testing.T) {
-	p := FreeTimeline([]*job.Job{mkFinished(1, 40, 10, 50)}, 100, 100, 3)
+	p := MustFreeTimeline([]*job.Job{mkFinished(1, 40, 10, 50)}, 100, 100, 3)
 	for k := sim.Time(0); k < 3; k++ {
 		if p.FreeAt(100*k+20) != 60 {
 			t.Fatalf("copy %d not tiled: free=%d", k, p.FreeAt(100*k+20))
@@ -112,7 +112,7 @@ func TestFreeTimelineTiles(t *testing.T) {
 
 func TestFreeTimelineIgnoresUnstartedJobs(t *testing.T) {
 	unstarted := job.New(1, "u", "g", 40, 100, 100, 0)
-	p := FreeTimeline([]*job.Job{unstarted}, 100, 100, 1)
+	p := MustFreeTimeline([]*job.Job{unstarted}, 100, 100, 1)
 	if p.FreeAt(50) != 100 {
 		t.Fatal("unstarted job consumed capacity")
 	}
@@ -138,7 +138,7 @@ func TestPackProjectEmptyMachine(t *testing.T) {
 func TestPackProjectRespectsNatives(t *testing.T) {
 	// 100-CPU machine with natives holding 90 CPUs on [0, 1000).
 	baseline := []*job.Job{mkFinished(1, 90, 0, 1000)}
-	free := FreeTimeline(baseline, 100, 2000, 1)
+	free := MustFreeTimeline(baseline, 100, 2000, 1)
 	res, err := PackProject(free, JobSpec{CPUs: 10, Runtime: 100}, 0, 12)
 	if err != nil {
 		t.Fatal(err)
@@ -153,7 +153,7 @@ func TestPackProjectRespectsNatives(t *testing.T) {
 func TestPackProjectBreakage(t *testing.T) {
 	// 90 free CPUs, 32-CPU jobs: only 2 fit concurrently (breakage!).
 	baseline := []*job.Job{mkFinished(1, 10, 0, 100000)}
-	free := FreeTimeline(baseline, 100, 100000, 1)
+	free := MustFreeTimeline(baseline, 100, 100000, 1)
 	res, err := PackProject(free, JobSpec{CPUs: 32, Runtime: 100}, 0, 10)
 	if err != nil {
 		t.Fatal(err)
@@ -220,10 +220,18 @@ func newSim(cpus int) *engine.Simulator {
 	return engine.New(machine.Config{Name: "t", CPUs: cpus, ClockGHz: 1}, sched.NewLSF())
 }
 
+// attach wires a controller to a simulator, failing the test on error.
+func attach(t *testing.T, c *Controller, s *engine.Simulator) {
+	t.Helper()
+	if err := c.Attach(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestControllerFillsEmptyMachine(t *testing.T) {
 	s := newSim(100)
 	c := NewProject(JobSpec{CPUs: 10, Runtime: 50}, 20, 0)
-	c.Attach(s)
+	attach(t, c, s)
 	// Kick a pass with a trivial native job.
 	s.Submit(job.New(1, "u", "g", 1, 10, 10, 0))
 	s.Run()
@@ -258,7 +266,7 @@ func TestControllerRespectsHeadReservation(t *testing.T) {
 		head := job.New(2, "u", "g", 100, 100, 100, 5)
 		s.Submit(blocker, head)
 		c := NewProject(JobSpec{CPUs: 40, Runtime: tc.runtime}, 1, 5)
-		c.Attach(s)
+		attach(t, c, s)
 		s.RunUntil(999)
 		started := len(c.Jobs) > 0
 		if started != tc.wantRun {
@@ -283,7 +291,7 @@ func TestControllerFallibleDelaysNativeOnBadEstimate(t *testing.T) {
 	head := job.New(2, "u", "g", 100, 100, 100, 5)
 	s.Submit(blocker, head)
 	c := NewProject(JobSpec{CPUs: 40, Runtime: 700}, 1, 5)
-	c.Attach(s)
+	attach(t, c, s)
 	s.Run()
 	if len(c.Jobs) != 1 {
 		t.Fatalf("interstitial job not admitted (%d)", len(c.Jobs))
@@ -303,7 +311,7 @@ func TestControllerUtilCap(t *testing.T) {
 	c := NewController(JobSpec{CPUs: 10, Runtime: 1000})
 	c.UtilCap = 0.8
 	c.StopAt = 4000
-	c.Attach(s)
+	attach(t, c, s)
 	s.RunUntil(3500)
 	// Cap 0.8 on 100 CPUs: busy may reach 80 => 3 interstitial jobs of 10
 	// alongside the 50-CPU native.
@@ -323,7 +331,7 @@ func TestControllerWindowBounds(t *testing.T) {
 	c := NewController(JobSpec{CPUs: 10, Runtime: 100})
 	c.StartAt = 1000
 	c.StopAt = 2000
-	c.Attach(s)
+	attach(t, c, s)
 	s.Run()
 	for _, j := range c.Jobs {
 		if j.Start < 1000 || j.Start > 2000 {
@@ -340,7 +348,7 @@ func TestControllerContinualStopsAtLogEnd(t *testing.T) {
 	s.Submit(job.New(1, "u", "g", 10, 100, 100, 0))
 	c := NewController(JobSpec{CPUs: 5, Runtime: 50})
 	c.StopAt = 300
-	c.Attach(s)
+	attach(t, c, s)
 	s.Run()
 	last := c.Jobs[len(c.Jobs)-1]
 	if last.Start > 300 {
@@ -359,15 +367,14 @@ func TestMakespanErrors(t *testing.T) {
 	}
 }
 
-func TestAttachTwicePanics(t *testing.T) {
+func TestAttachTwiceErrors(t *testing.T) {
 	s := newSim(10)
-	NewController(JobSpec{CPUs: 1, Runtime: 1}).Attach(s)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double attach did not panic")
-		}
-	}()
-	NewController(JobSpec{CPUs: 1, Runtime: 1}).Attach(s)
+	if err := NewController(JobSpec{CPUs: 1, Runtime: 1}).Attach(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewController(JobSpec{CPUs: 1, Runtime: 1}).Attach(s); err == nil {
+		t.Fatal("double attach did not error")
+	}
 }
 
 func TestInterstitialIDsDisjoint(t *testing.T) {
@@ -375,7 +382,7 @@ func TestInterstitialIDsDisjoint(t *testing.T) {
 	s.Submit(job.New(1, "u", "g", 1, 10, 10, 0))
 	c := NewController(JobSpec{CPUs: 10, Runtime: 10})
 	c.StopAt = 100
-	c.Attach(s)
+	attach(t, c, s)
 	s.Run()
 	for _, j := range c.Jobs {
 		if j.ID <= interstitialIDBase {
@@ -420,7 +427,7 @@ func TestQuickNativeThroughputPreserved(t *testing.T) {
 		s2.Submit(b2...)
 		ctrl := NewController(JobSpec{CPUs: 8, Runtime: sim.Time(rng.Intn(400) + 60)})
 		ctrl.StopAt = 120 * 400
-		ctrl.Attach(s2)
+		attach(t, ctrl, s2)
 		s2.Run()
 
 		for i := range b2 {

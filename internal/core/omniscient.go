@@ -13,8 +13,9 @@ import (
 // baseline run, clipped to [0, horizon) and tiled `copies` times so
 // projects that outlive the log keep seeing a statistically identical
 // machine (the log is treated as cyclo-stationary). copies < 1 is treated
-// as 1.
-func FreeTimeline(baseline []*job.Job, totalCPUs int, horizon sim.Time, copies int) *profile.Profile {
+// as 1. A baseline whose records produce a malformed step function is
+// reported as an error.
+func FreeTimeline(baseline []*job.Job, totalCPUs int, horizon sim.Time, copies int) (*profile.Profile, error) {
 	if copies < 1 {
 		copies = 1
 	}
@@ -88,6 +89,16 @@ func FreeTimeline(baseline []*job.Job, totalCPUs int, horizon sim.Time, copies i
 		free[len(free)-1] = totalCPUs
 	}
 	return profile.FromSteps(times, free)
+}
+
+// MustFreeTimeline is FreeTimeline for recorded baselines known good by
+// construction (a just-completed simulation); it panics on error.
+func MustFreeTimeline(baseline []*job.Job, totalCPUs int, horizon sim.Time, copies int) *profile.Profile {
+	p, err := FreeTimeline(baseline, totalCPUs, horizon, copies)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // Batch records a group of identical interstitial jobs started together by

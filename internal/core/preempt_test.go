@@ -19,7 +19,7 @@ func preemptScenario(t *testing.T, pre *Preemption) (*Controller, *job.Job) {
 	c := NewController(JobSpec{CPUs: 40, Runtime: 5000})
 	c.Preempt = pre
 	c.StopAt = 100 // one admission, then stop submitting
-	c.Attach(s)
+	attach(t, c, s)
 	head := job.New(2, "u", "g", 100, 100, 100, 300)
 	s.Submit(head)
 	s.Run()
@@ -72,8 +72,8 @@ func TestPreemptionCheckpointSavesWork(t *testing.T) {
 	}
 	// Remainder (5000-300=4700s) goes to the backlog; the window closed
 	// at 100 so it is never resubmitted.
-	if len(c.backlog) != 1 || c.backlog[0] != 4700 {
-		t.Fatalf("backlog = %v, want [4700]", c.backlog)
+	if len(c.backlog) != 1 || c.backlog[0] != (pendingWork{run: 4700}) {
+		t.Fatalf("backlog = %v, want [{4700 0}]", c.backlog)
 	}
 }
 
@@ -85,7 +85,7 @@ func TestPreemptionResubmitsRemainder(t *testing.T) {
 	c := NewController(JobSpec{CPUs: 40, Runtime: 5000})
 	c.Preempt = &Preemption{CheckpointEvery: 100}
 	c.StopAt = sim.Infinity // window stays open: remainder resubmits
-	c.Attach(s)
+	attach(t, c, s)
 	s.RunUntil(50000)
 	// The continuation job (4700s of remaining work) must have run after
 	// the head finished at 400.
@@ -113,7 +113,7 @@ func TestPreemptionDoesNotKillForNativeBlockage(t *testing.T) {
 	c := NewController(JobSpec{CPUs: 10, Runtime: 400})
 	c.Preempt = &Preemption{}
 	c.StopAt = 5000
-	c.Attach(s)
+	attach(t, c, s)
 	s.RunUntil(9000)
 	if c.KilledJobs != 0 {
 		t.Fatalf("killed %d jobs although natives were the blockage", c.KilledJobs)
@@ -129,7 +129,7 @@ func TestPreemptionKillsYoungestFirst(t *testing.T) {
 	c := NewController(JobSpec{CPUs: 40, Runtime: 100000})
 	c.Preempt = &Preemption{}
 	c.StopAt = 200
-	c.Attach(s)
+	attach(t, c, s)
 	s.RunUntil(250) // first job admitted at 0, second at 150
 	if len(c.Jobs) != 2 {
 		t.Fatalf("interstitial jobs = %d, want 2", len(c.Jobs))
@@ -155,7 +155,7 @@ func TestProjectDoneWithPreemption(t *testing.T) {
 	s.Submit(blocker, head)
 	c := NewProject(JobSpec{CPUs: 40, Runtime: 1000}, 3, 0)
 	c.Preempt = &Preemption{CheckpointEvery: 50}
-	c.Attach(s)
+	attach(t, c, s)
 	s.Run()
 	if !c.Done() {
 		t.Fatalf("project not done: created=%d backlog=%d", c.created, len(c.backlog))

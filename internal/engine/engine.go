@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -278,6 +279,23 @@ func (s *Simulator) schedulePassAt(t sim.Time) {
 		s.timedPassAt = sim.Infinity
 		s.pass()
 	}))
+}
+
+// SetContext arms cooperative cancellation on the underlying kernel: a
+// cancelled context makes Run/RunUntil return early with Interrupted true.
+// See sim.Engine.SetContext for the exact contract.
+func (s *Simulator) SetContext(ctx context.Context) { s.eng.SetContext(ctx) }
+
+// Interrupted reports whether the last Run/RunUntil was aborted by context
+// cancellation; an interrupted simulator's results are partial.
+func (s *Simulator) Interrupted() bool { return s.eng.Interrupted() }
+
+// ScheduleAt runs fn at simulated time t (>= now), in the submit phase so
+// completions at the same instant are observed first and the coalesced
+// scheduling pass still runs after. Fault injectors use this to perturb
+// the machine mid-run.
+func (s *Simulator) ScheduleAt(t sim.Time, fn func(*Simulator)) {
+	s.eng.SchedulePrio(t, prioSubmit, sim.EventFunc(func(*sim.Engine) { fn(s) }))
 }
 
 // Run executes the simulation to completion: all submitted jobs finished

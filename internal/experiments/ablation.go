@@ -6,7 +6,6 @@ import (
 	"text/tabwriter"
 
 	"interstitial/internal/core"
-	"interstitial/internal/engine"
 	"interstitial/internal/job"
 	"interstitial/internal/predict"
 	"interstitial/internal/sched"
@@ -61,7 +60,7 @@ func (r *AblationResult) Render(w io.Writer) error {
 // system/log/policy and summarizes it as an ablation row.
 func runScenario(l *Lab, label string, sys testbed.System, log []*job.Job, spec core.JobSpec, capUtil float64) ablationRow {
 	natives := job.CloneAll(log)
-	sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
+	sm := l.newSim(sys)
 	sm.Submit(natives...)
 	horizon := sys.Workload.Duration()
 	var inter []*job.Job
@@ -69,7 +68,7 @@ func runScenario(l *Lab, label string, sys testbed.System, log []*job.Job, spec 
 		ctrl := core.NewController(spec)
 		ctrl.StopAt = horizon
 		ctrl.UtilCap = capUtil
-		ctrl.Attach(sm)
+		mustAttach(ctrl, sm)
 		sm.Run()
 		inter = ctrl.Jobs
 	} else {
@@ -180,7 +179,7 @@ func AblationBurstiness(l *Lab) *AblationResult {
 	l.fanout(len(bursts), func(i int) {
 		sys := o.scaled(testbed.BlueMountain())
 		sys.Workload.Burstiness = bursts[i]
-		log := workload.Generate(sys.Workload, o.Seed)
+		log := workload.MustGenerate(sys.Workload, o.Seed)
 		spec := core.JobSpec{CPUs: 32, Runtime: sys.Seconds1GHz(120)}
 		res.Rows[i] = runScenario(l, fmt.Sprintf("burstiness %.1f", bursts[i]), sys, log, spec, 0)
 	})
@@ -236,13 +235,13 @@ func AblationPreemption(l *Lab) *AblationResult {
 // runScenarioPre is runScenario with a preemption policy attached.
 func runScenarioPre(l *Lab, label string, sys testbed.System, log []*job.Job, spec core.JobSpec, pre *core.Preemption) ablationRow {
 	natives := job.CloneAll(log)
-	sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
+	sm := l.newSim(sys)
 	sm.Submit(natives...)
 	horizon := sys.Workload.Duration()
 	ctrl := core.NewController(spec)
 	ctrl.StopAt = horizon
 	ctrl.Preempt = pre
-	ctrl.Attach(sm)
+	mustAttach(ctrl, sm)
 	sm.Run()
 	l.observeSim(sm)
 	all := append(append([]*job.Job{}, natives...), ctrl.Jobs...)
@@ -297,11 +296,11 @@ func AblationPrediction(l *Lab) *AblationResult {
 		inner := sys.NewPolicy
 		sys.NewPolicy = func() sched.Policy { return predict.Wrap(inner(), pred) }
 		natives := job.CloneAll(b.log)
-		sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
+		sm := l.newSim(sys)
 		sm.Submit(natives...)
 		ctrl := core.NewController(spec)
 		ctrl.StopAt = sys.Workload.Duration()
-		ctrl.Attach(sm)
+		mustAttach(ctrl, sm)
 		sm.Run()
 		l.observeSim(sm)
 		geo, under := predict.Accuracy(natives)
@@ -362,12 +361,12 @@ func AblationGuard(l *Lab) *AblationResult {
 		sys := b.sys
 		sys.NewPolicy = pol.mk
 		natives := job.CloneAll(b.log)
-		sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
+		sm := l.newSim(sys)
 		sm.Submit(natives...)
 		ctrl := core.NewController(spec)
 		ctrl.StopAt = sys.Workload.Duration()
 		ctrl.IgnorePlan = ignore
-		ctrl.Attach(sm)
+		mustAttach(ctrl, sm)
 		sm.Run()
 		l.observeSim(sm)
 		row := summarizeContinual(sys, natives, ctrl.Jobs)
@@ -415,7 +414,7 @@ func UtilizationSweep(l *Lab) *AblationResult {
 	l.fanout(len(utils), func(i int) {
 		sys := o.scaled(testbed.BlueMountain())
 		sys.Workload.TargetUtil = utils[i]
-		log := workload.Generate(sys.Workload, o.Seed)
+		log := workload.MustGenerate(sys.Workload, o.Seed)
 		spec := core.JobSpec{CPUs: 32, Runtime: sys.Seconds1GHz(120)}
 		res.Rows[i] = runScenario(l, fmt.Sprintf("native load %.2f", utils[i]), sys, log, spec, 0)
 	})

@@ -6,7 +6,6 @@ import (
 	"text/tabwriter"
 
 	"interstitial/internal/core"
-	"interstitial/internal/engine"
 	"interstitial/internal/job"
 	"interstitial/internal/stats"
 	"interstitial/internal/testbed"
@@ -201,7 +200,7 @@ func Figure4Outages(l *Lab) *Figure4Result {
 	// Two drains per log regardless of scale (full scale: every ~28 days,
 	// like the dead zones around hours 1200-1500 in the paper's figure).
 	sys.Workload = sys.Workload.WithOutages(sys.Workload.Days/3, 9)
-	log := workload.Generate(sys.Workload, o.Seed)
+	log := workload.MustGenerate(sys.Workload, o.Seed)
 	horizon := sys.Workload.Duration()
 	n := sys.Workload.Machine.CPUs
 
@@ -211,18 +210,18 @@ func Figure4Outages(l *Lab) *Figure4Result {
 	l.fanout(2, func(i int) {
 		if i == 0 {
 			baseline = job.CloneAll(log)
-			sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
+			sm := l.newSim(sys)
 			sm.Submit(baseline...)
 			sm.Run()
 			l.observeSim(sm)
 			return
 		}
 		withJobs := job.CloneAll(log)
-		sm := engine.New(sys.Workload.Machine, sys.NewPolicy())
+		sm := l.newSim(sys)
 		sm.Submit(withJobs...)
 		ctrl := core.NewController(core.JobSpec{CPUs: 32, Runtime: sys.Seconds1GHz(120)})
 		ctrl.StopAt = horizon
-		ctrl.Attach(sm)
+		mustAttach(ctrl, sm)
 		sm.Run()
 		l.observeSim(sm)
 		all = append(append([]*job.Job{}, withJobs...), ctrl.Jobs...)

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -47,6 +48,14 @@ type Options struct {
 	// all randomness is derived from (Seed, replication index), never from
 	// scheduling order.
 	Workers int
+	// Ctx, when non-nil, bounds every simulation the lab runs: once it is
+	// cancelled, in-flight simulations abort cooperatively (within ~4096
+	// kernel events), queued cells are skipped, and RunAll reports the
+	// unfinished experiments. A lab whose context has been cancelled is
+	// spent — its memoized artifacts may be poisoned with the cancellation
+	// — so build a fresh Lab per run. A context that never cancels leaves
+	// every result byte-identical to a context-free run.
+	Ctx context.Context
 }
 
 // DefaultOptions runs at paper scale.
@@ -67,6 +76,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
 	}
 	return o
 }
@@ -128,16 +140,22 @@ type continualRun struct {
 	ctrl         *core.Controller
 }
 
-// baselineEntry is a singleflight slot for one system's baseline.
+// baselineEntry is a singleflight slot for one system's baseline. A
+// compute that panics poisons the slot: the panic value is stored and
+// re-raised to the computing caller and every waiter, so no caller ever
+// sees a half-built artifact (and sync.Once never runs the compute again).
 type baselineEntry struct {
-	once sync.Once
-	b    *baseline
+	once     sync.Once
+	b        *baseline
+	panicked any
 }
 
-// continualEntry is a singleflight slot for one continual run.
+// continualEntry is a singleflight slot for one continual run, poisoned
+// on panic like baselineEntry.
 type continualEntry struct {
-	once sync.Once
-	r    *continualRun
+	once     sync.Once
+	r        *continualRun
+	panicked any
 }
 
 // Lab memoizes expensive shared artifacts across experiments. Lab methods
@@ -166,13 +184,18 @@ type Lab struct {
 	// cells, when non-nil, additionally attributes this view's fan-out
 	// cells to one experiment (see Registry.RunAll).
 	cells *obs.Counter
+	// name labels this view's experiment for CellError attribution;
+	// empty on the root lab, whose failures belong to "(shared)".
+	name string
 }
 
 // labCore is the shared state behind every view of a Lab.
 type labCore struct {
 	opts Options
+	ctx  context.Context
 	pool *pool
 	met  *labMetrics
+	sink faultSink
 
 	mu        sync.Mutex // guards the maps, never held while computing
 	baselines map[string]*baselineEntry
@@ -190,6 +213,7 @@ func NewLab(o Options) *Lab {
 	met := newLabMetrics()
 	return &Lab{labCore: &labCore{
 		opts:      o,
+		ctx:       o.Ctx,
 		pool:      newPool(o.Workers, met),
 		met:       met,
 		baselines: make(map[string]*baselineEntry),
@@ -198,9 +222,18 @@ func NewLab(o Options) *Lab {
 }
 
 // withCells derives a view of the lab whose fanout calls also count into
-// c. The view shares every artifact, the pool, and the metrics registry.
-func (l *Lab) withCells(c *obs.Counter) *Lab {
-	return &Lab{labCore: l.labCore, cells: c}
+// c and whose failures are attributed to the named experiment. The view
+// shares every artifact, the pool, and the metrics registry.
+func (l *Lab) withCells(name string, c *obs.Counter) *Lab {
+	return &Lab{labCore: l.labCore, cells: c, name: name}
+}
+
+// owner is the experiment name failures on this view attribute to.
+func (l *Lab) owner() string {
+	if l.name == "" {
+		return "(shared)"
+	}
+	return l.name
 }
 
 // Metrics returns the lab's metrics registry for reporting (snapshot,
@@ -213,7 +246,12 @@ func (l *Lab) Timings() *obs.Timings { return l.met.timings }
 
 // fanout runs fn(i) for i in [0, n) on the lab's worker pool, counting the
 // n work cells globally and, on an experiment view, to that experiment.
-// Every experiment-level parallel loop goes through here.
+// Every experiment-level parallel loop goes through here. Each cell runs
+// behind the fault boundary: a panic inside one cell is converted to a
+// CellError (recorded in the lab's fault sink) instead of crashing the
+// process, the remaining cells still run, and after the barrier the first
+// failure — or the context's cancellation — is re-raised to abort the
+// experiment body, whose own boundary in RunAll reports it.
 func (l *Lab) fanout(n int, fn func(i int)) {
 	if n > 0 {
 		l.met.cells.Add(uint64(n))
@@ -221,13 +259,73 @@ func (l *Lab) fanout(n int, fn func(i int)) {
 			l.cells.Add(uint64(n))
 		}
 	}
-	l.pool.forEach(n, fn)
+	l.shieldedForEach(n, fn)
+}
+
+// shieldedForEach is pool.forEach behind the cell fault boundary; see
+// fanout. It must be used for every fan-out whose cells can panic, because
+// a bare panic on a pool helper goroutine would kill the process.
+func (l *Lab) shieldedForEach(n int, fn func(i int)) {
+	var firstFail atomic.Pointer[CellError]
+	var cancelled atomic.Bool
+	l.pool.forEach(n, func(i int) {
+		if l.ctx.Err() != nil {
+			// Cancelled: skip the cell entirely. Already-running cells
+			// abort themselves through their simulators' kernels.
+			cancelled.Store(true)
+			return
+		}
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if isCancel(r) {
+				cancelled.Store(true)
+				return
+			}
+			ce := toCellError(l.owner(), i, r)
+			l.sink.add(ce)
+			l.met.cellsFailed.Inc()
+			firstFail.CompareAndSwap(nil, ce)
+		}()
+		fn(i)
+	})
+	if ce := firstFail.Load(); ce != nil {
+		panic(ce)
+	}
+	if cancelled.Load() {
+		panic(l.ctx.Err())
+	}
+}
+
+// newSim builds a simulator for sys bound to the lab's context, so a
+// cancelled run aborts mid-simulation instead of after it.
+func (l *labCore) newSim(sys testbed.System) *engine.Simulator {
+	sm := sys.NewSimulator()
+	sm.SetContext(l.ctx)
+	return sm
+}
+
+// mustAttach attaches ctrl to sm; controller specs inside experiments are
+// valid by construction, so a failure here is a harness bug surfaced
+// through the cell boundary.
+func mustAttach(c *core.Controller, sm *engine.Simulator) {
+	if err := c.Attach(sm); err != nil {
+		panic(err)
+	}
 }
 
 // observeSim folds a finished simulator's kernel and scheduler counters
 // into the lab's metrics. Call it once per completed run; it reads the
 // simulator from the calling goroutine, so call it where the run finished.
+// A run the context interrupted has no usable results: observeSim aborts
+// the computation by panicking with the cancellation, which the cell
+// boundary classifies as "unfinished" rather than "failed".
 func (l *labCore) observeSim(sm *engine.Simulator) {
+	if sm.Interrupted() {
+		panic(l.ctx.Err())
+	}
 	st := sm.Stats()
 	m := l.met
 	m.simEvents.Add(st.Kernel.Executed)
@@ -273,15 +371,25 @@ func (l *labCore) Baseline(name string) *baseline {
 	computed := false
 	e.once.Do(func() {
 		computed = true
+		defer func() { e.panicked = recover() }()
 		l.baselineComputes.Add(1)
 		l.met.baselineComputes.Inc()
 		sys := l.System(name)
-		log := sys.CalibratedLog(l.opts.Seed, 0.015)
+		log, err := sys.CalibratedLogCtx(l.ctx, l.opts.Seed, 0.015)
+		if err != nil {
+			panic(err) // cancellation: classified by the cell boundary
+		}
 		ran := job.CloneAll(log)
-		sm, util := sys.RunNative(ran)
+		sm, util, err := sys.RunNativeCtx(l.ctx, ran)
+		if err != nil {
+			panic(err)
+		}
 		l.observeSim(sm)
 		e.b = &baseline{sys: sys, log: log, ran: ran, sim: sm, utilNat: util}
 	})
+	if e.panicked != nil {
+		panic(e.panicked)
+	}
 	if !computed {
 		l.met.baselineHits.Inc()
 	}
@@ -303,22 +411,26 @@ func (l *labCore) Continual(name string, spec core.JobSpec, capPct int) *continu
 	computed := false
 	e.once.Do(func() {
 		computed = true
+		defer func() { e.panicked = recover() }()
 		l.continualComputes.Add(1)
 		l.met.continualComputes.Inc()
 		b := l.Baseline(name)
 		natives := job.CloneAll(b.log)
-		sm := b.sys.NewSimulator()
+		sm := l.newSim(b.sys)
 		sm.Submit(natives...)
 		ctrl := core.NewController(spec)
 		ctrl.StopAt = b.sys.Workload.Duration()
 		if capPct > 0 {
 			ctrl.UtilCap = float64(capPct) / 100
 		}
-		ctrl.Attach(sm)
+		mustAttach(ctrl, sm)
 		sm.Run()
 		l.observeSim(sm)
 		e.r = &continualRun{natives: natives, interstitial: ctrl.Jobs, ctrl: ctrl}
 	})
+	if e.panicked != nil {
+		panic(e.panicked)
+	}
 	if !computed {
 		l.met.continualHits.Inc()
 	}
@@ -346,9 +458,11 @@ func ContinualKey(system string, spec core.JobSpec, capPct int) Key {
 // whole working set before rendering, so independent baselines and
 // continual runs overlap instead of materializing one-by-one on first use.
 // Precomputing a key that is already resolved (or concurrently resolving)
-// is free.
+// is free. Like fanout, the warmup cells run behind the fault boundary:
+// an artifact whose compute panics poisons its memo slot and the failure
+// re-surfaces here (and at every later use).
 func (l *Lab) Precompute(keys ...Key) {
-	l.pool.forEach(len(keys), func(i int) {
+	l.shieldedForEach(len(keys), func(i int) {
 		k := keys[i]
 		if k.Spec.CPUs == 0 {
 			l.Baseline(k.System)

@@ -39,6 +39,7 @@ type labMetrics struct {
 	continualHits     *obs.Counter
 
 	cells        *obs.Counter
+	cellsFailed  *obs.Counter
 	poolTasks    *obs.Counter
 	poolActive   *obs.Gauge
 	poolPeak     *obs.MaxGauge
@@ -75,6 +76,7 @@ func newLabMetrics() *labMetrics {
 		continualHits:     reg.Counter("lab_continual_hits_total", "continual requests served by singleflight memo"),
 
 		cells:        reg.Counter("exp_cells_total", "experiment work cells fanned onto the pool"),
+		cellsFailed:  reg.Counter("exp_cells_failed_total", "work cells (or experiment bodies) whose panic was converted to a CellError"),
 		poolTasks:    reg.Counter("pool_tasks_total", "tasks executed by the worker pool"),
 		poolActive:   reg.Gauge("pool_workers_active", "goroutines currently working a fan-out"),
 		poolPeak:     reg.MaxGauge("pool_workers_peak", "peak concurrent fan-out workers"),

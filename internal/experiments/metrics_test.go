@@ -35,7 +35,7 @@ func TestMetricsDoNotPerturbOutput(t *testing.T) {
 	names := metricsTestNames()
 
 	plain := testLab()
-	rs, err := NewRegistry(plain).RunAll(names)
+	rs, _, err := NewRegistry(plain).RunAll(names)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestMetricsDoNotPerturbOutput(t *testing.T) {
 	// Observed run: hammer the metrics API between and after experiments.
 	observed := NewLab(Options{Seed: 1, Scale: 0.08, Reps: 4, Samples: 60})
 	_ = observed.Metrics().Snapshot() // pre-run snapshot
-	rs2, err := NewRegistry(observed).RunAll(names)
+	rs2, _, err := NewRegistry(observed).RunAll(names)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestMetricsDoNotPerturbOutput(t *testing.T) {
 
 	// Serial run: same bytes at Workers=1 with metrics read.
 	serial := NewLab(Options{Seed: 1, Scale: 0.08, Reps: 4, Samples: 60, Workers: 1})
-	rs3, err := NewRegistry(serial).RunAll(names)
+	rs3, _, err := NewRegistry(serial).RunAll(names)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestMetricsDoNotPerturbOutput(t *testing.T) {
 func TestLabMetricsCollected(t *testing.T) {
 	l := testLab()
 	reg := NewRegistry(l)
-	if _, err := reg.RunAll(metricsTestNames()); err != nil {
+	if _, _, err := reg.RunAll(metricsTestNames()); err != nil {
 		t.Fatal(err)
 	}
 	s := l.Metrics().Snapshot()
@@ -148,7 +148,7 @@ func TestLabMetricsCollected(t *testing.T) {
 func TestTimingReportRows(t *testing.T) {
 	l := testLab()
 	names := metricsTestNames()
-	if _, err := NewRegistry(l).RunAll(names); err != nil {
+	if _, _, err := NewRegistry(l).RunAll(names); err != nil {
 		t.Fatal(err)
 	}
 	rows := l.Timings().Rows()

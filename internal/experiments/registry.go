@@ -21,13 +21,33 @@ type Registry struct {
 	t2Once sync.Once
 	t2     *Table2Result
 	t2Err  error
+	t2Pan  any
 
 	t4Once sync.Once
 	t4     *Table4Result
+	t4Pan  any
+
+	mu     sync.Mutex
+	custom map[string]func(*Lab) (Renderer, error)
 }
 
 // NewRegistry wraps a lab.
 func NewRegistry(l *Lab) *Registry { return &Registry{lab: l} }
+
+// Register installs a custom experiment under name, overriding a built-in
+// of the same name. The runner executes under the same fault boundary as
+// built-ins: its panics become CellErrors in the RunReport, and its cells
+// (via the lab view it receives) attribute to name. Chaos tests use this
+// to inject failing experiments; it is also the extension point for
+// out-of-tree studies.
+func (g *Registry) Register(name string, run func(*Lab) (Renderer, error)) {
+	g.mu.Lock()
+	if g.custom == nil {
+		g.custom = make(map[string]func(*Lab) (Renderer, error))
+	}
+	g.custom[name] = run
+	g.mu.Unlock()
+}
 
 // PaperNames lists the paper's experiments in evaluation order.
 func PaperNames() []string {
@@ -41,7 +61,8 @@ func ExtensionNames() []string {
 	return []string{"ablation-estimates", "ablation-backfill", "ablation-burstiness",
 		"ablation-joblength", "ablation-jobwidth", "ablation-guard", "ablation-capsweep",
 		"ablation-preemption", "ablation-prediction", "utilization-sweep",
-		"validate-sampling", "seed-robustness", "correlations", "figure4-outages"}
+		"validate-sampling", "seed-robustness", "correlations", "figure4-outages",
+		"faults-sensitivity"}
 }
 
 // AllNames lists every runnable experiment, sorted.
@@ -51,15 +72,31 @@ func AllNames() []string {
 	return names
 }
 
-// table2 memoizes the omniscient sweep (singleflight).
+// table2 memoizes the omniscient sweep (singleflight). A panicking sweep
+// poisons the memo: the panic re-raises to the computing caller and every
+// waiter, so each dependent experiment reports the same failure instead of
+// consuming a half-built result.
 func (g *Registry) table2() (*Table2Result, error) {
-	g.t2Once.Do(func() { g.t2, g.t2Err = Table2(g.lab) })
+	g.t2Once.Do(func() {
+		defer func() { g.t2Pan = recover() }()
+		g.t2, g.t2Err = Table2(g.lab)
+	})
+	if g.t2Pan != nil {
+		panic(g.t2Pan)
+	}
 	return g.t2, g.t2Err
 }
 
-// table4 memoizes the fallible short-term sweep (singleflight).
+// table4 memoizes the fallible short-term sweep (singleflight), poisoned
+// on panic like table2.
 func (g *Registry) table4() *Table4Result {
-	g.t4Once.Do(func() { g.t4 = Table4(g.lab) })
+	g.t4Once.Do(func() {
+		defer func() { g.t4Pan = recover() }()
+		g.t4 = Table4(g.lab)
+	})
+	if g.t4Pan != nil {
+		panic(g.t4Pan)
+	}
 	return g.t4
 }
 
@@ -73,6 +110,12 @@ func (g *Registry) Run(name string) (Renderer, error) { return g.runOn(g.lab, na
 // singleflight race would make the timing report depend on scheduling.
 // Their cells appear in the report's "(shared)" row instead.
 func (g *Registry) runOn(l *Lab, name string) (Renderer, error) {
+	g.mu.Lock()
+	custom := g.custom[name]
+	g.mu.Unlock()
+	if custom != nil {
+		return custom(l)
+	}
 	switch name {
 	case "table1":
 		return Table1(l), nil
@@ -144,23 +187,35 @@ func (g *Registry) runOn(l *Lab, name string) (Renderer, error) {
 		return AblationPreemption(l), nil
 	case "ablation-capsweep":
 		return AblationCapSweep(l), nil
+	case "faults-sensitivity":
+		return FaultsSensitivity(l), nil
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (valid: %v)", name, AllNames())
 }
 
 // RunAll executes the named experiments concurrently on the lab's worker
-// pool and returns their results in the given order. Experiments that
-// share artifacts (the Lab's baselines and continual runs, the registry's
-// Table 2 / Table 4 sweeps) coalesce on them instead of recomputing. The
-// first error (in name order) is returned, with results for the
-// experiments that succeeded.
+// pool and returns their results in the given order, plus a RunReport of
+// how the run degraded. Experiments that share artifacts (the Lab's
+// baselines and continual runs, the registry's Table 2 / Table 4 sweeps)
+// coalesce on them instead of recomputing.
 //
-// RunAll also fills the lab's timing report: each experiment's wall time
-// and the work cells its own fan-outs produced, recorded in evaluation
-// order after the barrier, plus a "(shared)" row for cells spent in the
-// memoized cross-experiment sweeps. Timing is observation only — results
-// and rendered bytes are identical whether the report is read or not.
-func (g *Registry) RunAll(names []string) ([]Renderer, error) {
+// RunAll never crashes on an experiment panic: every body and every work
+// cell runs behind a recovering boundary that converts the panic into a
+// typed CellError, the other experiments keep running, and the completed
+// tables are returned alongside report.Failed — graceful degradation with
+// partial results. If the lab's context is cancelled, in-flight
+// simulations abort within ~4096 kernel events, queued work is skipped,
+// and report.Unfinished lists every experiment without a result. The
+// returned error is the first hard (non-panic, non-cancel) error in name
+// order; nil slots in the result slice correspond to report entries.
+//
+// RunAll also fills the lab's timing report: each experiment's wall time,
+// the work cells its own fan-outs produced, and its outcome, recorded in
+// evaluation order after the barrier, plus a "(shared)" row for cells
+// spent in the memoized cross-experiment sweeps. Timing is observation
+// only — results and rendered bytes are identical whether the report is
+// read or not.
+func (g *Registry) RunAll(names []string) ([]Renderer, *RunReport, error) {
 	out := make([]Renderer, len(names))
 	errs := make([]error, len(names))
 	walls := make([]time.Duration, len(names))
@@ -168,21 +223,58 @@ func (g *Registry) RunAll(names []string) ([]Renderer, error) {
 	before := g.lab.met.cells.Load()
 	g.lab.pool.forEach(len(names), func(i int) {
 		t0 := time.Now()
-		out[i], errs[i] = g.runOn(g.lab.withCells(&cells[i]), names[i])
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if isCancel(r) {
+					errs[i] = r.(error)
+					return
+				}
+				ce, converted := r.(*CellError)
+				if !converted {
+					// The body itself paniced (outside any fan-out, so
+					// no cell boundary saw it yet): convert here.
+					ce = toCellError(names[i], -1, r)
+					g.lab.met.cellsFailed.Inc()
+				}
+				g.lab.sink.add(ce)
+				errs[i] = ce
+			}()
+			out[i], errs[i] = g.runOn(g.lab.withCells(names[i], &cells[i]), names[i])
+		}()
 		walls[i] = time.Since(t0)
 	})
+
+	report := &RunReport{Failed: g.lab.sink.drain()}
+	var firstErr error
 	var attributed uint64
 	for i, name := range names {
-		g.lab.met.timings.Record(name, walls[i], cells[i].Load())
+		status := "ok"
+		switch {
+		case errs[i] == nil:
+			report.Completed = append(report.Completed, name)
+		case isCancel(errs[i]):
+			report.Unfinished = append(report.Unfinished, name)
+			report.Err = g.lab.ctx.Err()
+			status = "unfinished"
+		default:
+			if _, ok := errs[i].(*CellError); ok {
+				status = "failed"
+			} else {
+				status = "error"
+				if firstErr == nil {
+					firstErr = errs[i]
+				}
+			}
+		}
+		g.lab.met.timings.Record(name, walls[i], cells[i].Load(), status)
 		attributed += cells[i].Load()
 	}
 	if total := g.lab.met.cells.Load() - before; total > attributed {
-		g.lab.met.timings.Record("(shared)", 0, total-attributed)
+		g.lab.met.timings.Record("(shared)", 0, total-attributed, "")
 	}
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
-	}
-	return out, nil
+	return out, report, firstErr
 }

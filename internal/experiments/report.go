@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// CellError is a panic converted at the harness's cell boundary: one work
+// cell (or an experiment body) paniced — typically on a deliberate
+// invariant check deep in the simulator — and the recovering wrapper
+// captured the value and stack instead of crashing the process.
+type CellError struct {
+	// Experiment is the experiment key the cell belongs to; "(shared)"
+	// when the panic surfaced in a memoized cross-experiment artifact.
+	Experiment string
+	// Cell is the fan-out index of the failed cell; -1 means the
+	// experiment body itself (outside any fan-out) failed.
+	Cell int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error renders the failure without the stack; use e.Stack for forensics.
+func (e *CellError) Error() string {
+	if e.Cell < 0 {
+		return fmt.Sprintf("experiments: %s: panic: %v", e.Experiment, e.Value)
+	}
+	return fmt.Sprintf("experiments: %s: cell %d: panic: %v", e.Experiment, e.Cell, e.Value)
+}
+
+// RunReport aggregates how a RunAll degraded: which experiments finished,
+// which failed on a converted panic, and which were abandoned because the
+// context was cancelled. A report with only Completed entries is a fully
+// healthy run.
+type RunReport struct {
+	// Completed lists the experiments whose tables rendered successfully,
+	// in evaluation order.
+	Completed []string
+	// Failed holds every converted panic, in evaluation order of the
+	// owning experiment (cell failures before the body failure they
+	// caused, if both were recorded).
+	Failed []*CellError
+	// Unfinished lists experiments abandoned by context cancellation, in
+	// evaluation order.
+	Unfinished []string
+	// Err is the context's error when the run was cancelled, nil otherwise.
+	Err error
+}
+
+// OK reports whether every experiment completed.
+func (r *RunReport) OK() bool {
+	return len(r.Failed) == 0 && len(r.Unfinished) == 0 && r.Err == nil
+}
+
+// String renders a one-line-per-problem summary for CLI diagnostics.
+func (r *RunReport) String() string {
+	if r.OK() {
+		return fmt.Sprintf("run report: %d experiments completed", len(r.Completed))
+	}
+	s := fmt.Sprintf("run report: %d completed, %d failed cells, %d unfinished",
+		len(r.Completed), len(r.Failed), len(r.Unfinished))
+	for _, f := range r.Failed {
+		s += "\n  failed: " + f.Error()
+	}
+	for _, n := range r.Unfinished {
+		s += "\n  unfinished: " + n
+	}
+	if r.Err != nil {
+		s += "\n  cause: " + r.Err.Error()
+	}
+	return s
+}
+
+// faultSink collects converted panics across all of a lab's views. It
+// dedups by pointer: one panic poisoning a shared memo re-surfaces in
+// every experiment that consumes the artifact, but is one failure.
+type faultSink struct {
+	mu    sync.Mutex
+	cells []*CellError
+	seen  map[*CellError]struct{}
+}
+
+func (s *faultSink) add(e *CellError) {
+	s.mu.Lock()
+	if s.seen == nil {
+		s.seen = make(map[*CellError]struct{})
+	}
+	if _, dup := s.seen[e]; !dup {
+		s.seen[e] = struct{}{}
+		s.cells = append(s.cells, e)
+	}
+	s.mu.Unlock()
+}
+
+func (s *faultSink) drain() []*CellError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.cells
+	s.cells, s.seen = nil, nil
+	return out
+}
+
+// isCancel reports whether a recovered value is context cancellation
+// surfacing as a panic (the lab aborts interrupted simulations by
+// panicking with the context's error, and re-panics it through the
+// singleflight memos).
+func isCancel(v any) bool {
+	err, ok := v.(error)
+	return ok && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// toCellError converts a recovered panic value into a CellError, keeping
+// an already-converted one intact (a cell's CellError re-panicked through
+// a memo keeps its original stack and owner).
+func toCellError(experiment string, cell int, v any) *CellError {
+	if ce, ok := v.(*CellError); ok {
+		return ce
+	}
+	return &CellError{Experiment: experiment, Cell: cell, Value: v, Stack: debug.Stack()}
+}

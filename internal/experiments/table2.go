@@ -93,7 +93,7 @@ func Table2(l *Lab) (*Table2Result, error) {
 				proj:  p,
 				spec:  spec,
 				ideal: ideal,
-				free:  core.FreeTimeline(b.ran, b.sys.Workload.Machine.CPUs, horizon, copies),
+				free:  core.MustFreeTimeline(b.ran, b.sys.Workload.Machine.CPUs, horizon, copies),
 				starts: randomStarts(rng.New(o.Seed+100+int64(i*len(res.Machines)+m)),
 					o.Reps, horizon, 1.0),
 			}

@@ -54,12 +54,12 @@ func Table5(l *Lab) *Table5Result {
 	l.fanout(len(scens), func(i int) {
 		sc := scens[i]
 		natives := job.CloneAll(b.log)
-		sm := b.sys.NewSimulator()
+		sm := l.newSim(b.sys)
 		sm.Submit(natives...)
 		spec := sc.proj.JobSpecFor(b.sys.Workload.Machine.ClockGHz)
 		ctrl := core.NewProject(spec, sc.proj.KJobs, startAt)
 		ctrl.StopAt = horizon * 4 // projects may outlive the log
-		ctrl.Attach(sm)
+		mustAttach(ctrl, sm)
 		sm.Run()
 		l.observeSim(sm)
 		res.Scenarios[1+i] = summarizeNatives(sc.label, natives, len(ctrl.Jobs))

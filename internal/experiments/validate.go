@@ -62,10 +62,10 @@ func ValidateSampling(l *Lab) *ValidateSamplingResult {
 		}
 		// Direct co-simulation of the same single project.
 		natives := job.CloneAll(b.log)
-		sm := b.sys.NewSimulator()
+		sm := l.newSim(b.sys)
 		sm.Submit(natives...)
 		ctrl := core.NewProject(spec, p.KJobs, t1)
-		ctrl.Attach(sm)
+		mustAttach(ctrl, sm)
 		sm.Run()
 		l.observeSim(sm)
 		direct, err := ctrl.Makespan()
@@ -154,9 +154,9 @@ func Correlations(l *Lab) *CorrelationsResult {
 		if !bursty {
 			sys.Workload.Burstiness = 0
 		}
-		log := workload.Generate(sys.Workload, o.Seed)
+		log := workload.MustGenerate(sys.Workload, o.Seed)
 		natives := job.CloneAll(log)
-		sm := sys.NewSimulator()
+		sm := l.newSim(sys)
 		sm.Submit(natives...)
 		sm.Run()
 		l.observeSim(sm)
@@ -230,7 +230,7 @@ func SeedRobustness(l *Lab, nSeeds int) *SeedRobustnessResult {
 		s := int64(i / 2)
 		seed := o.Seed + s*1000
 		sys := o.scaled(testbed.BlueMountain())
-		log := workload.Generate(sys.Workload, seed)
+		log := workload.MustGenerate(sys.Workload, seed)
 		if i%2 == 0 {
 			rows[i] = runScenario(l, "base", sys, log, core.JobSpec{}, 0)
 		} else {

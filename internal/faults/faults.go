@@ -1,0 +1,207 @@
+// Package faults injects deterministic, seeded failures into a running
+// simulation: node-capacity loss intervals (part of the machine goes down
+// and later recovers), eviction of the interstitial guests occupying the
+// lost nodes, and corruption of user runtime estimates. Together with the
+// controller's kill-latency and restart-overhead knobs (core.Preemption)
+// it turns "how robust is interstitial computing to an unreliable
+// machine?" into a first-class, reproducible scenario.
+//
+// The model deliberately spares native jobs: an outage takes CPUs from
+// the free pool, evicting interstitial guests (youngest first) when the
+// free pool alone cannot cover it. This mirrors operational practice —
+// killable low-priority guests absorb the failure so natives do not —
+// and keeps the native workload comparable across fault regimes. An
+// outage that cannot be covered is clipped to what free + interstitial
+// capacity allows.
+//
+// Everything is derived from Config.Seed, so a fault schedule is as
+// reproducible as the workload it perturbs.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"interstitial/internal/core"
+	"interstitial/internal/engine"
+	"interstitial/internal/job"
+	"interstitial/internal/rng"
+	"interstitial/internal/sim"
+)
+
+// downIDBase keeps outage down-job IDs disjoint from native logs (1..),
+// interstitial jobs (10M+) and kill-latency blockers (30M+).
+const downIDBase = 20_000_000
+
+// Config describes a machine's failure behavior.
+type Config struct {
+	// Seed drives the schedule's randomness; schedules are deterministic
+	// in (Config, horizon, totalCPUs).
+	Seed int64
+	// MTBF is the mean time between outage onsets, exponentially
+	// distributed. Zero or negative disables outages entirely.
+	MTBF sim.Time
+	// MeanRepair is the mean outage duration, exponentially distributed
+	// with a 60-second floor (a node never flaps for less).
+	MeanRepair sim.Time
+	// LossFrac is the fraction of the machine's CPUs an outage takes,
+	// in (0, 1]; each outage loses at least one CPU.
+	LossFrac float64
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.MTBF <= 0 {
+		return nil // disabled: remaining fields are irrelevant
+	}
+	if c.MeanRepair <= 0 {
+		return fmt.Errorf("faults: MeanRepair %d with outages enabled", c.MeanRepair)
+	}
+	if c.LossFrac <= 0 || c.LossFrac > 1 {
+		return fmt.Errorf("faults: LossFrac %v out of (0,1]", c.LossFrac)
+	}
+	return nil
+}
+
+// Outage is one node-loss interval: CPUs go down at At and come back
+// after Duration.
+type Outage struct {
+	At       sim.Time
+	CPUs     int
+	Duration sim.Time
+}
+
+// Schedule is a fault schedule: outages ordered by onset time.
+type Schedule []Outage
+
+// NewSchedule draws the outage schedule for a machine of totalCPUs over
+// [0, horizon). Onset gaps and durations are exponential; the CPU count
+// per outage is fixed by LossFrac (min 1).
+func NewSchedule(cfg Config, horizon sim.Time, totalCPUs int) (Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MTBF <= 0 || horizon <= 0 || totalCPUs < 1 {
+		return nil, nil
+	}
+	loss := int(cfg.LossFrac * float64(totalCPUs))
+	if loss < 1 {
+		loss = 1
+	}
+	r := rng.New(cfg.Seed)
+	var s Schedule
+	at := sim.Time(rng.Exponential(r, float64(cfg.MTBF)))
+	for at < horizon {
+		dur := sim.Time(rng.Exponential(r, float64(cfg.MeanRepair)))
+		if dur < 60 {
+			dur = 60
+		}
+		s = append(s, Outage{At: at, CPUs: loss, Duration: dur})
+		at += sim.Time(rng.Exponential(r, float64(cfg.MTBF)))
+	}
+	return s, nil
+}
+
+// DownCPUSeconds is the schedule's total scheduled capacity loss (before
+// any clipping against busy natives).
+func (s Schedule) DownCPUSeconds() float64 {
+	var total float64
+	for _, o := range s {
+		total += float64(o.CPUs) * float64(o.Duration)
+	}
+	return total
+}
+
+// Injector applies a Schedule to a live simulation and records what the
+// faults actually did. Read the counters only after the run completes.
+type Injector struct {
+	ctrl *core.Controller
+
+	// Struck counts outages applied; Evicted the interstitial guests
+	// killed to clear lost nodes; DownCPUSeconds the capacity actually
+	// taken down (after clipping against busy natives).
+	Struck         int
+	Evicted        int
+	DownCPUSeconds float64
+
+	nextID int
+}
+
+// Attach arms every outage in the schedule on the simulator. ctrl, when
+// non-nil, is the interstitial controller whose guests may be evicted to
+// clear the lost nodes; with a nil ctrl only free CPUs go down. Attach
+// must be called before the simulation runs.
+func Attach(sm *engine.Simulator, sched Schedule, ctrl *core.Controller) *Injector {
+	inj := &Injector{ctrl: ctrl}
+	for _, o := range sched {
+		o := o
+		sm.ScheduleAt(o.At, func(s *engine.Simulator) { inj.strike(s, o) })
+	}
+	return inj
+}
+
+// strike applies one outage at its onset instant: evict interstitial
+// guests youngest-first until the free pool covers the loss (or no guests
+// remain), then occupy the lost CPUs with a maintenance-class down job
+// for the outage duration. Natives are never touched, so the loss is
+// clipped to free + evictable capacity.
+func (inj *Injector) strike(s *engine.Simulator, o Outage) {
+	m := s.Machine()
+	if m.Free() < o.CPUs && inj.ctrl != nil {
+		var guests []*job.Job
+		m.Running(func(j *job.Job) {
+			if j.Class == job.Interstitial {
+				guests = append(guests, j)
+			}
+		})
+		sort.Slice(guests, func(i, k int) bool {
+			if guests[i].Start != guests[k].Start {
+				return guests[i].Start > guests[k].Start
+			}
+			return guests[i].ID > guests[k].ID
+		})
+		for _, g := range guests {
+			if m.Free() >= o.CPUs {
+				break
+			}
+			if inj.ctrl.Evict(s, g) {
+				inj.Evicted++
+			}
+		}
+	}
+	down := o.CPUs
+	if free := m.Free(); down > free {
+		down = free
+	}
+	if down < 1 {
+		return // machine saturated with natives: the outage has no one to take
+	}
+	inj.nextID++
+	d := job.New(downIDBase+inj.nextID, "_fault", "_fault", down, o.Duration, o.Duration, s.Now())
+	d.Class = job.Maintenance
+	s.StartDirect(d)
+	inj.Struck++
+	inj.DownCPUSeconds += float64(down) * float64(o.Duration)
+}
+
+// CorruptEstimates multiplies the runtime estimate of roughly frac of the
+// jobs by a 2-10x factor, deterministically from seed, and reports how
+// many it corrupted. It models users (or a broken submission filter)
+// supplying garbage estimates: the scheduler's plan — and therefore the
+// interstitial controller's admission guard — becomes far more
+// conservative than reality. Jobs are mutated in place.
+func CorruptEstimates(jobs []*job.Job, frac float64, seed int64) int {
+	if frac <= 0 {
+		return 0
+	}
+	r := rng.New(seed)
+	n := 0
+	for _, j := range jobs {
+		if r.Float64() >= frac {
+			continue
+		}
+		j.Estimate = sim.Time(float64(j.Estimate) * (2 + 8*r.Float64()))
+		n++
+	}
+	return n
+}

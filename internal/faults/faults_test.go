@@ -1,0 +1,200 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"interstitial/internal/core"
+	"interstitial/internal/engine"
+	"interstitial/internal/job"
+	"interstitial/internal/machine"
+	"interstitial/internal/sched"
+	"interstitial/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	valid := []Config{
+		{},                                      // disabled
+		{MTBF: -1, MeanRepair: -1, LossFrac: 9}, // disabled: rest ignored
+		{MTBF: 100, MeanRepair: 10, LossFrac: 0.1},
+		{MTBF: 100, MeanRepair: 10, LossFrac: 1},
+	}
+	for _, c := range valid {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	invalid := []Config{
+		{MTBF: 100, MeanRepair: 0, LossFrac: 0.1},
+		{MTBF: 100, MeanRepair: 10, LossFrac: 0},
+		{MTBF: 100, MeanRepair: 10, LossFrac: 1.5},
+	}
+	for _, c := range invalid {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestNewScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, MTBF: 5000, MeanRepair: 600, LossFrac: 0.25}
+	a, err := NewSchedule(cfg, 100000, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSchedule(cfg, 100000, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("schedule empty: MTBF far below horizon must produce outages")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different schedules")
+	}
+	cfg.Seed = 8
+	c, err := NewSchedule(cfg, 100000, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestNewScheduleShape(t *testing.T) {
+	s, err := NewSchedule(Config{Seed: 1, MTBF: 2000, MeanRepair: 1, LossFrac: 0.1}, 50000, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev sim.Time
+	for _, o := range s {
+		if o.At < prev {
+			t.Fatalf("outages out of order: %d after %d", o.At, prev)
+		}
+		prev = o.At
+		if o.At >= 50000 {
+			t.Fatalf("outage at %d past the horizon", o.At)
+		}
+		if o.CPUs != 4 {
+			t.Fatalf("outage takes %d CPUs, want 4 (10%% of 40)", o.CPUs)
+		}
+		if o.Duration < 60 {
+			t.Fatalf("outage duration %d under the 60s floor", o.Duration)
+		}
+	}
+	if got := s.DownCPUSeconds(); got <= 0 {
+		t.Fatalf("DownCPUSeconds = %v", got)
+	}
+
+	// Disabled and degenerate inputs yield an empty schedule, not an error.
+	for _, args := range []struct {
+		cfg      Config
+		horizon  sim.Time
+		totalCPU int
+	}{
+		{Config{Seed: 1}, 50000, 40},
+		{Config{Seed: 1, MTBF: 100, MeanRepair: 1, LossFrac: 0.1}, 0, 40},
+		{Config{Seed: 1, MTBF: 100, MeanRepair: 1, LossFrac: 0.1}, 50000, 0},
+	} {
+		s, err := NewSchedule(args.cfg, args.horizon, args.totalCPU)
+		if err != nil || s != nil {
+			t.Fatalf("NewSchedule(%+v,%d,%d) = %v, %v; want nil, nil",
+				args.cfg, args.horizon, args.totalCPU, s, err)
+		}
+	}
+
+	if _, err := NewSchedule(Config{MTBF: 10, LossFrac: 5}, 100, 10); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestCorruptEstimates: deterministic in seed, leaves estimates >= runtime
+// (corruption only inflates), touches roughly frac of the jobs, and a zero
+// frac is a no-op.
+func TestCorruptEstimates(t *testing.T) {
+	mk := func() []*job.Job {
+		jobs := make([]*job.Job, 1000)
+		for i := range jobs {
+			jobs[i] = job.New(i+1, "u", "g", 1, 100, 150, 0)
+		}
+		return jobs
+	}
+	a, b := mk(), mk()
+	na := CorruptEstimates(a, 0.3, 42)
+	nb := CorruptEstimates(b, 0.3, 42)
+	if na != nb {
+		t.Fatalf("same seed corrupted %d vs %d jobs", na, nb)
+	}
+	if na < 200 || na > 400 {
+		t.Fatalf("corrupted %d of 1000 jobs, want ~300", na)
+	}
+	for i := range a {
+		if a[i].Estimate != b[i].Estimate {
+			t.Fatalf("job %d: estimates diverge under the same seed", i)
+		}
+		if a[i].Estimate < a[i].Runtime {
+			t.Fatalf("job %d: corruption deflated the estimate below runtime", i)
+		}
+		if err := a[i].Validate(); err != nil {
+			t.Fatalf("corrupted job %d invalid: %v", i, err)
+		}
+	}
+	if n := CorruptEstimates(mk(), 0, 42); n != 0 {
+		t.Fatalf("frac 0 corrupted %d jobs", n)
+	}
+}
+
+func newTestSim(cpus int) *engine.Simulator {
+	return engine.New(machine.Config{Name: "f", CPUs: cpus, ClockGHz: 1}, sched.NewLSF())
+}
+
+// TestInjectorStrike: an outage on a machine with running interstitial
+// guests evicts them youngest-first until the loss is covered, then holds
+// the CPUs down for the outage duration. Natives survive.
+func TestInjectorStrike(t *testing.T) {
+	s := newTestSim(100)
+	native := job.New(1, "u", "g", 30, 10000, 10000, 0)
+	s.Submit(native)
+	ctrl := core.NewController(core.JobSpec{CPUs: 35, Runtime: 8000})
+	ctrl.Preempt = &core.Preemption{}
+	ctrl.StopAt = 100
+	if err := ctrl.Attach(s); err != nil {
+		t.Fatal(err)
+	}
+	// 30 native + 2x35 interstitial = 100 busy. An 80-CPU outage at t=500
+	// must evict both guests (free 0 < 80) and then take free=70 CPUs.
+	sched := Schedule{{At: 500, CPUs: 80, Duration: 1000}}
+	inj := Attach(s, sched, ctrl)
+	s.RunUntil(5000)
+	if inj.Struck != 1 || inj.Evicted != 2 {
+		t.Fatalf("struck=%d evicted=%d, want 1, 2", inj.Struck, inj.Evicted)
+	}
+	if inj.DownCPUSeconds != 70*1000 {
+		t.Fatalf("down cpu-seconds = %v, want 70000 (clipped to non-native capacity)", inj.DownCPUSeconds)
+	}
+	if native.State != job.Running {
+		t.Fatalf("native state = %v: an outage must never touch natives", native.State)
+	}
+	if ctrl.KilledJobs != 2 {
+		t.Fatalf("controller kills = %d, want 2", ctrl.KilledJobs)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectorSaturatedMachine: with natives holding every CPU, an outage
+// has nothing to take and must not fire a down job.
+func TestInjectorSaturatedMachine(t *testing.T) {
+	s := newTestSim(50)
+	s.Submit(job.New(1, "u", "g", 50, 10000, 10000, 0))
+	inj := Attach(s, Schedule{{At: 100, CPUs: 10, Duration: 500}}, nil)
+	s.RunUntil(2000)
+	if inj.Struck != 0 || inj.DownCPUSeconds != 0 {
+		t.Fatalf("struck=%d down=%v on a saturated machine", inj.Struck, inj.DownCPUSeconds)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

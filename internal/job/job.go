@@ -91,6 +91,11 @@ type Job struct {
 	// Estimate is the user-supplied runtime estimate the scheduler plans
 	// with. On real machines it grossly overestimates Runtime.
 	Estimate sim.Time
+	// Overhead is the leading portion of Runtime that is restart dead
+	// weight rather than useful work: a preempted-and-resubmitted
+	// interstitial continuation spends this long re-reading its checkpoint
+	// before making new progress. Zero for fresh jobs.
+	Overhead sim.Time
 
 	// Submit, Start and Finish record the job's lifecycle times. Start and
 	// Finish are -1 until the transition happens.
@@ -201,6 +206,8 @@ func (j *Job) Validate() error {
 		return fmt.Errorf("job %d: finish %d != start %d + runtime %d", j.ID, j.Finish, j.Start, j.Runtime)
 	case j.State == Killed && (j.Finish < 0 || j.Finish > j.Start+j.Runtime):
 		return fmt.Errorf("job %d: killed at %d outside its execution window", j.ID, j.Finish)
+	case j.Overhead < 0 || j.Overhead > j.Runtime:
+		return fmt.Errorf("job %d: overhead %d outside [0, runtime %d]", j.ID, j.Overhead, j.Runtime)
 	}
 	return nil
 }

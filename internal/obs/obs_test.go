@@ -215,8 +215,8 @@ func TestPublishExpvarIdempotent(t *testing.T) {
 
 func TestTimings(t *testing.T) {
 	var ts Timings
-	ts.Record("table2", 1500*time.Millisecond, 120)
-	ts.Record("table6", 500*time.Millisecond, 40)
+	ts.Record("table2", 1500*time.Millisecond, 120, "ok")
+	ts.Record("table6", 500*time.Millisecond, 40, "failed")
 
 	rows := ts.Rows()
 	if len(rows) != 2 || rows[0].Name != "table2" || rows[1].Cells != 40 {
@@ -228,7 +228,7 @@ func TestTimings(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"experiment", "table2", "1.5s", "120", "total", "2s", "160"} {
+	for _, want := range []string{"experiment", "table2", "1.5s", "120", "ok", "failed", "total", "2s", "160"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("timing table missing %q:\n%s", want, out)
 		}

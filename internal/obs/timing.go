@@ -7,12 +7,15 @@ import (
 	"time"
 )
 
-// TimingRow is one experiment's wall-clock cost: how long it took and how
-// many work cells (replication tasks on the worker pool) it fanned out.
+// TimingRow is one experiment's wall-clock cost: how long it took, how
+// many work cells (replication tasks on the worker pool) it fanned out,
+// and how it ended ("ok", "failed", "unfinished", "error"; empty for
+// synthetic rows like "(shared)").
 type TimingRow struct {
-	Name  string
-	Wall  time.Duration
-	Cells uint64
+	Name   string
+	Wall   time.Duration
+	Cells  uint64
+	Status string
 }
 
 // Timings collects per-experiment timing rows. Record order is preserved;
@@ -24,9 +27,9 @@ type Timings struct {
 }
 
 // Record appends one row.
-func (t *Timings) Record(name string, wall time.Duration, cells uint64) {
+func (t *Timings) Record(name string, wall time.Duration, cells uint64, status string) {
 	t.mu.Lock()
-	t.rows = append(t.rows, TimingRow{Name: name, Wall: wall, Cells: cells})
+	t.rows = append(t.rows, TimingRow{Name: name, Wall: wall, Cells: cells, Status: status})
 	t.mu.Unlock()
 }
 
@@ -53,7 +56,7 @@ func (t *Timings) WriteTable(w io.Writer) error {
 			width = len(r.Name)
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%-*s  %12s  %8s\n", width, "experiment", "wall", "cells"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-*s  %12s  %8s  %s\n", width, "experiment", "wall", "cells", "status"); err != nil {
 		return err
 	}
 	var wall time.Duration
@@ -61,7 +64,7 @@ func (t *Timings) WriteTable(w io.Writer) error {
 	for _, r := range rows {
 		wall += r.Wall
 		cells += r.Cells
-		if _, err := fmt.Fprintf(w, "%-*s  %12s  %8d\n", width, r.Name, r.Wall.Round(time.Millisecond), r.Cells); err != nil {
+		if _, err := fmt.Fprintf(w, "%-*s  %12s  %8d  %s\n", width, r.Name, r.Wall.Round(time.Millisecond), r.Cells, r.Status); err != nil {
 			return err
 		}
 	}

@@ -31,13 +31,15 @@ type Profile struct {
 
 // FromSteps builds a profile directly from parallel breakpoint/capacity
 // slices. Breakpoints must be strictly increasing and capacities
-// non-negative; the slices are copied.
-func FromSteps(times []sim.Time, free []int) *Profile {
+// non-negative; the slices are copied. Malformed steps are reported as an
+// error, never a panic — this is the entry point for externally supplied
+// timelines.
+func FromSteps(times []sim.Time, free []int) (*Profile, error) {
 	p := &Profile{times: append([]sim.Time(nil), times...), free: append([]int(nil), free...)}
 	if err := p.CheckInvariants(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return p
+	return p, nil
 }
 
 // NewConstant returns a profile with a constant capacity from time `from`

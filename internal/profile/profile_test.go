@@ -326,21 +326,27 @@ func TestQuickMinFreeMatchesBruteForce(t *testing.T) {
 }
 
 func TestFromSteps(t *testing.T) {
-	p := FromSteps([]sim.Time{0, 100, 200}, []int{10, 5, 10})
+	p, err := FromSteps([]sim.Time{0, 100, 200}, []int{10, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.FreeAt(150) != 5 || p.FreeAt(250) != 10 || p.Origin() != 0 {
 		t.Fatalf("FromSteps values wrong: %v", p)
 	}
 	// The input slices must not alias the profile.
 	times := []sim.Time{0, 50}
 	free := []int{4, 8}
-	q := FromSteps(times, free)
+	q, err := FromSteps(times, free)
+	if err != nil {
+		t.Fatal(err)
+	}
 	times[1] = 999
 	if q.FreeAt(60) != 8 {
 		t.Fatal("FromSteps aliased its input")
 	}
 }
 
-func TestFromStepsPanicsOnBadInput(t *testing.T) {
+func TestFromStepsErrorsOnBadInput(t *testing.T) {
 	cases := []struct {
 		times []sim.Time
 		free  []int
@@ -352,13 +358,8 @@ func TestFromStepsPanicsOnBadInput(t *testing.T) {
 		{[]sim.Time{0, 1}, []int{1}},    // ragged
 	}
 	for i, c := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d did not panic", i)
-				}
-			}()
-			FromSteps(c.times, c.free)
-		}()
+		if _, err := FromSteps(c.times, c.free); err == nil {
+			t.Errorf("case %d did not error", i)
+		}
 	}
 }

@@ -18,7 +18,10 @@
 // interstitial controller) share this time base.
 package sim
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Time is simulated time in seconds since the simulation epoch.
 type Time int64
@@ -103,6 +106,50 @@ type Engine struct {
 	allocs  uint64 // item allocations = free-list misses
 	drained uint64 // cancelled events removed without firing
 	heapHW  int    // pending-set high-water mark
+
+	// Cooperative cancellation (SetContext): Run and RunUntil poll done
+	// every cancelCheckEvery events and bail out with interrupted set.
+	// A nil done channel keeps the original, check-free run loop, so a
+	// simulation that never arms cancellation pays nothing for it.
+	done        <-chan struct{}
+	interrupted bool
+}
+
+// cancelCheckEvery is how many events fire between cancellation polls.
+// It must be a power of two (the check is a mask on the executed count):
+// small enough that a multi-million-event run stops within microseconds
+// of cancellation, large enough that the poll vanishes against the
+// per-event budget.
+const cancelCheckEvery = 4096
+
+// SetContext arms cooperative cancellation: while the context is live the
+// engine runs exactly as before, and once it is cancelled Run/RunUntil
+// return within cancelCheckEvery events, leaving Interrupted true. A nil
+// context (or one that can never be cancelled) disarms the check
+// entirely, so cancellation support cannot perturb an unarmed run.
+func (e *Engine) SetContext(ctx context.Context) {
+	if ctx == nil {
+		e.done = nil
+		return
+	}
+	e.done = ctx.Done()
+}
+
+// Interrupted reports whether a run was aborted by context cancellation.
+// It stays true once set; the pending-event set is preserved, so an
+// interrupted simulation can be inspected (but its results are partial).
+func (e *Engine) Interrupted() bool { return e.interrupted }
+
+// cancelled polls the armed done channel; called every cancelCheckEvery
+// events from the run loops.
+func (e *Engine) cancelled() bool {
+	select {
+	case <-e.done:
+		e.interrupted = true
+		return true
+	default:
+		return false
+	}
 }
 
 // Stats is a snapshot of the kernel's counters, taken with Stats().
@@ -274,18 +321,35 @@ func (e *Engine) step() bool {
 	return false
 }
 
-// Run executes events until the pending set is empty or Stop is called.
+// Run executes events until the pending set is empty, Stop is called, or
+// an armed context (SetContext) is cancelled.
 func (e *Engine) Run() {
 	e.stopped = false
-	for !e.stopped && e.step() {
+	if e.done == nil {
+		// Unarmed hot path: identical to the pre-cancellation loop.
+		for !e.stopped && e.step() {
+		}
+		return
+	}
+	for !e.stopped {
+		if e.executed&(cancelCheckEvery-1) == 0 && e.cancelled() {
+			return
+		}
+		if !e.step() {
+			return
+		}
 	}
 }
 
 // RunUntil executes events with timestamps <= deadline, then sets the clock
-// to deadline (if it has not already passed it).
+// to deadline (if it has not already passed it). Like Run it honours an
+// armed context; on cancellation the clock stays where the run stopped.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
+		if e.done != nil && e.executed&(cancelCheckEvery-1) == 0 && e.cancelled() {
+			return
+		}
 		next, ok := e.PeekTime()
 		if !ok || next > deadline {
 			break

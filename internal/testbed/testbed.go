@@ -6,6 +6,7 @@
 package testbed
 
 import (
+	"context"
 	"fmt"
 
 	"interstitial/internal/engine"
@@ -59,11 +60,24 @@ func (s System) NewSimulator() *engine.Simulator {
 // reports the achieved native utilization over the log horizon. The jobs
 // slice is mutated (start/finish recorded).
 func (s System) RunNative(jobs []*job.Job) (*engine.Simulator, float64) {
+	sm, native, _ := s.RunNativeCtx(context.Background(), jobs)
+	return sm, native
+}
+
+// RunNativeCtx is RunNative under a context: a cancelled ctx aborts the
+// simulation cooperatively (within ~4096 events) and returns ctx's error
+// alongside the partially-run simulator. With a background context it is
+// byte-for-byte identical to RunNative.
+func (s System) RunNativeCtx(ctx context.Context, jobs []*job.Job) (*engine.Simulator, float64, error) {
 	sm := s.NewSimulator()
+	sm.SetContext(ctx)
 	sm.Submit(jobs...)
 	sm.Run()
+	if sm.Interrupted() {
+		return sm, 0, ctx.Err()
+	}
 	native := stats.Utilization(jobs, s.Workload.Machine.CPUs, 0, s.Workload.Duration())
-	return sm, native
+	return sm, native, nil
 }
 
 // CalibratedLog generates a native log whose achieved (simulated)
@@ -71,6 +85,18 @@ func (s System) RunNative(jobs []*job.Job) (*engine.Simulator, float64) {
 // iteratively rescaling the offered load. It returns a fresh, unsimulated
 // log. Typical convergence is 1-3 iterations.
 func (s System) CalibratedLog(seed int64, tol float64) []*job.Job {
+	jobs, err := s.CalibratedLogCtx(context.Background(), seed, tol)
+	if err != nil {
+		// Unreachable: a background context never cancels.
+		panic(err)
+	}
+	return jobs
+}
+
+// CalibratedLogCtx is CalibratedLog under a context: the calibration loop
+// runs up to five full native simulations, and a cancelled ctx aborts the
+// current one and returns ctx's error.
+func (s System) CalibratedLogCtx(ctx context.Context, seed int64, tol float64) ([]*job.Job, error) {
 	if tol <= 0 {
 		tol = 0.01
 	}
@@ -79,13 +105,16 @@ func (s System) CalibratedLog(seed int64, tol float64) []*job.Job {
 	offered := target
 	for iter := 0; iter < 5; iter++ {
 		p.TargetUtil = offered
-		jobs := workload.Generate(p, seed)
-		_, achieved := s.RunNative(job.CloneAll(jobs))
+		jobs := workload.MustGenerate(p, seed)
+		_, achieved, err := s.RunNativeCtx(ctx, job.CloneAll(jobs))
+		if err != nil {
+			return nil, err
+		}
 		if achieved <= 0 {
 			panic(fmt.Sprintf("testbed %s: zero achieved utilization", s.Name))
 		}
 		if diff := achieved - target; diff <= tol && diff >= -tol {
-			return jobs
+			return jobs, nil
 		}
 		// Proportional correction, damped, and clamped to a sane band so
 		// a saturated machine cannot drive the offered load to silly
@@ -99,7 +128,7 @@ func (s System) CalibratedLog(seed int64, tol float64) []*job.Job {
 		}
 	}
 	p.TargetUtil = offered
-	return workload.Generate(p, seed)
+	return workload.MustGenerate(p, seed), nil
 }
 
 // Seconds1GHz converts a per-CPU work amount expressed as "seconds at

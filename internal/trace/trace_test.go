@@ -50,7 +50,7 @@ func TestRoundTripWholeSyntheticLog(t *testing.T) {
 	p := workload.Ross()
 	p.Jobs = 500
 	p.Days = 5
-	jobs := workload.Generate(p, 3)
+	jobs := workload.MustGenerate(p, 3)
 	var buf bytes.Buffer
 	if err := Write(&buf, Header{Computer: "Ross"}, jobs); err != nil {
 		t.Fatal(err)

@@ -15,7 +15,7 @@ func TestFitProfileRoundTrip(t *testing.T) {
 	orig := BlueMountain()
 	orig.Days = 20
 	orig.Jobs = 2000
-	jobs := Generate(orig, 31)
+	jobs := MustGenerate(orig, 31)
 	fit, err := FitProfile(jobs, orig.Machine)
 	if err != nil {
 		t.Fatal(err)
@@ -44,7 +44,7 @@ func TestFitProfileRoundTrip(t *testing.T) {
 
 	// And the refitted profile must generate a *valid* log whose offered
 	// load lands near the fit target.
-	clone := Generate(fit, 32)
+	clone := MustGenerate(fit, 32)
 	var area float64
 	for _, j := range clone {
 		area += j.CPUSeconds()

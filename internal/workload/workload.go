@@ -163,10 +163,12 @@ var estimateMenuH = []float64{1, 2, 4, 6, 8, 12, 24}
 var estimateMenuW = []float64{4, 5, 6, 40, 5, 8, 6}
 
 // Generate produces the native job log for p, deterministically from seed.
-// Jobs are returned in submit order with IDs 1..Jobs.
-func Generate(p Profile, seed int64) []*job.Job {
+// Jobs are returned in submit order with IDs 1..Jobs. An invalid profile is
+// reported as an error, never a panic — callers with profiles known valid
+// by construction can use MustGenerate.
+func Generate(p Profile, seed int64) ([]*job.Job, error) {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	r := rng.New(seed)
 	arr := arrivals(p, r)
@@ -193,6 +195,16 @@ func Generate(p Profile, seed int64) []*job.Job {
 	}
 	jobs = append(jobs, p.outageJobs(len(jobs))...)
 	sortBySubmit(jobs)
+	return jobs, nil
+}
+
+// MustGenerate is Generate for profiles that are valid by construction
+// (the built-in machine profiles); it panics on an invalid profile.
+func MustGenerate(p Profile, seed int64) []*job.Job {
+	jobs, err := Generate(p, seed)
+	if err != nil {
+		panic(err)
+	}
 	return jobs
 }
 

@@ -32,7 +32,7 @@ func TestProfilesMatchTable1(t *testing.T) {
 
 func TestGenerateCount(t *testing.T) {
 	p := Ross()
-	jobs := Generate(p, 1)
+	jobs := MustGenerate(p, 1)
 	if len(jobs) != p.Jobs {
 		t.Fatalf("generated %d jobs, want %d", len(jobs), p.Jobs)
 	}
@@ -48,7 +48,7 @@ func TestGenerateCount(t *testing.T) {
 
 func TestGenerateSortedWithinHorizon(t *testing.T) {
 	p := BlueMountain()
-	jobs := Generate(p, 2)
+	jobs := MustGenerate(p, 2)
 	if !sort.SliceIsSorted(jobs, func(i, k int) bool { return jobs[i].Submit < jobs[k].Submit }) {
 		t.Fatal("submissions not sorted")
 	}
@@ -59,7 +59,7 @@ func TestGenerateSortedWithinHorizon(t *testing.T) {
 
 func TestGenerateOfferedLoadMatchesTarget(t *testing.T) {
 	for _, p := range []Profile{Ross(), BlueMountain(), BluePacific()} {
-		jobs := Generate(p, 3)
+		jobs := MustGenerate(p, 3)
 		var area float64
 		for _, j := range jobs {
 			area += j.CPUSeconds()
@@ -72,14 +72,14 @@ func TestGenerateOfferedLoadMatchesTarget(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(Ross(), 42)
-	b := Generate(Ross(), 42)
+	a := MustGenerate(Ross(), 42)
+	b := MustGenerate(Ross(), 42)
 	for i := range a {
 		if a[i].Submit != b[i].Submit || a[i].CPUs != b[i].CPUs || a[i].Runtime != b[i].Runtime || a[i].Estimate != b[i].Estimate {
 			t.Fatalf("job %d differs between identical seeds", i)
 		}
 	}
-	c := Generate(Ross(), 43)
+	c := MustGenerate(Ross(), 43)
 	same := true
 	for i := range a {
 		if a[i].Submit != c[i].Submit {
@@ -95,7 +95,7 @@ func TestGenerateDeterministic(t *testing.T) {
 func TestCPUSizesWithinBounds(t *testing.T) {
 	p := BluePacific()
 	maxAllowed := int(float64(p.Machine.CPUs) * p.MaxCPUFrac)
-	for _, j := range Generate(p, 4) {
+	for _, j := range MustGenerate(p, 4) {
 		if j.CPUs < 1 || j.CPUs > maxAllowed {
 			t.Fatalf("job size %d outside [1,%d]", j.CPUs, maxAllowed)
 		}
@@ -104,7 +104,7 @@ func TestCPUSizesWithinBounds(t *testing.T) {
 
 func TestSizeDistributionHasFatTail(t *testing.T) {
 	p := BlueMountain()
-	jobs := Generate(p, 5)
+	jobs := MustGenerate(p, 5)
 	small, big := 0, 0
 	for _, j := range jobs {
 		if j.CPUs <= 32 {
@@ -124,7 +124,7 @@ func TestSizeDistributionHasFatTail(t *testing.T) {
 
 func TestEstimatesGrosslyOverestimate(t *testing.T) {
 	p := BlueMountain()
-	jobs := Generate(p, 6)
+	jobs := MustGenerate(p, 6)
 	var rts, ests []float64
 	for _, j := range jobs {
 		if j.Estimate < j.Runtime {
@@ -147,7 +147,7 @@ func TestEstimatesGrosslyOverestimate(t *testing.T) {
 }
 
 func TestRossHasWeeksScaleTail(t *testing.T) {
-	jobs := Generate(Ross(), 7)
+	jobs := MustGenerate(Ross(), 7)
 	long := 0
 	for _, j := range jobs {
 		if j.Runtime > sim.Time(5*24*3600) {
@@ -161,7 +161,7 @@ func TestRossHasWeeksScaleTail(t *testing.T) {
 
 func TestArrivalsAreBursty(t *testing.T) {
 	p := BlueMountain()
-	jobs := Generate(p, 8)
+	jobs := MustGenerate(p, 8)
 	// Count arrivals per 6h bucket; burstiness means the count variance
 	// well exceeds the Poisson mean (index of dispersion >> 1).
 	bucket := sim.Time(6 * 3600)
@@ -201,7 +201,7 @@ func TestValidateRejectsBadProfiles(t *testing.T) {
 }
 
 func TestCloneAllResetsLifecycle(t *testing.T) {
-	jobs := Generate(Ross(), 9)[:10]
+	jobs := MustGenerate(Ross(), 9)[:10]
 	jobs[0].Start = 100
 	jobs[0].Finish = 200
 	jobs[0].State = job.Finished
@@ -228,7 +228,7 @@ func TestOutageInjection(t *testing.T) {
 	p := BlueMountain().WithOutages(14, 8)
 	p.Days = 30
 	p.Jobs = 500
-	jobs := Generate(p, 11)
+	jobs := MustGenerate(p, 11)
 	var outages []*job.Job
 	for _, j := range jobs {
 		if j.Class == job.Maintenance {
@@ -253,7 +253,7 @@ func TestOutageInjection(t *testing.T) {
 }
 
 func TestOutagesDisabledByDefault(t *testing.T) {
-	for _, j := range Generate(BlueMountain(), 1)[:100] {
+	for _, j := range MustGenerate(BlueMountain(), 1)[:100] {
 		if j.Class == job.Maintenance {
 			t.Fatal("default profile injected outages")
 		}
@@ -263,7 +263,7 @@ func TestOutagesDisabledByDefault(t *testing.T) {
 func TestArrivalsFollowDiurnalCycle(t *testing.T) {
 	// Office hours (9-18) must receive clearly more submissions per hour
 	// than night hours (22-6), per the diurnal modulation.
-	jobs := Generate(BlueMountain(), 13)
+	jobs := MustGenerate(BlueMountain(), 13)
 	day, night := 0, 0
 	for _, j := range jobs {
 		tod := (j.Submit % 86400) / 3600
@@ -282,7 +282,7 @@ func TestArrivalsFollowDiurnalCycle(t *testing.T) {
 }
 
 func TestArrivalsFollowWeeklyCycle(t *testing.T) {
-	jobs := Generate(BlueMountain(), 14)
+	jobs := MustGenerate(BlueMountain(), 14)
 	weekday, weekend := 0, 0
 	for _, j := range jobs {
 		day := int(j.Submit/86400) % 7

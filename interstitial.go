@@ -22,12 +22,17 @@
 //     perfect knowledge (the paper's no-impact upper bound).
 //   - Theory helpers re-exported from internal/theory.
 //
-// All functions are deterministic given a seed. See DESIGN.md for the
-// mapping from the paper's tables and figures to this API, and
-// cmd/experiments for the harness that regenerates them.
+// All functions are deterministic given a seed. The Ctx variants
+// (RunProjectCtx, RunContinualCtx, ...) accept a context.Context for
+// cooperative cancellation: a cancelled context aborts the simulation
+// within ~4096 kernel events and surfaces ctx.Err(); with a background
+// context they are byte-for-byte identical to their plain counterparts.
+// See DESIGN.md for the mapping from the paper's tables and figures to
+// this API, and cmd/experiments for the harness that regenerates them.
 package interstitial
 
 import (
+	"context"
 	"fmt"
 
 	"interstitial/internal/core"
@@ -78,6 +83,13 @@ func CalibratedLog(m Machine, seed int64) []*Job {
 	return m.CalibratedLog(seed, 0.015)
 }
 
+// CalibratedLogCtx is CalibratedLog under a context: the calibration loop
+// runs a handful of full native simulations, and a cancelled ctx aborts
+// the current one and returns ctx's error.
+func CalibratedLogCtx(ctx context.Context, m Machine, seed int64) ([]*Job, error) {
+	return m.CalibratedLogCtx(ctx, seed, 0.015)
+}
+
 // RunNative simulates the native log alone and returns the achieved
 // native utilization over the log horizon. The jobs are mutated in place
 // with start/finish times.
@@ -106,16 +118,28 @@ type ProjectResult struct {
 // dropped into the native log at startAt. The native log records reflect
 // any interference.
 func RunProject(m Machine, log []*Job, p ProjectSpec, startAt Time) (ProjectResult, error) {
+	return RunProjectCtx(context.Background(), m, log, p, startAt)
+}
+
+// RunProjectCtx is RunProject under a context: a cancelled ctx aborts the
+// co-simulation cooperatively and returns ctx's error.
+func RunProjectCtx(ctx context.Context, m Machine, log []*Job, p ProjectSpec, startAt Time) (ProjectResult, error) {
 	if err := p.Validate(); err != nil {
 		return ProjectResult{}, err
 	}
 	natives := job.CloneAll(log)
 	sm := m.NewSimulator()
+	sm.SetContext(ctx)
 	sm.Submit(natives...)
 	spec := p.JobSpecFor(m.Workload.Machine.ClockGHz)
 	ctrl := core.NewProject(spec, p.KJobs, startAt)
-	ctrl.Attach(sm)
+	if err := ctrl.Attach(sm); err != nil {
+		return ProjectResult{}, err
+	}
 	sm.Run()
+	if sm.Interrupted() {
+		return ProjectResult{}, ctx.Err()
+	}
 	ms, err := ctrl.Makespan()
 	if err != nil {
 		return ProjectResult{}, err
@@ -144,6 +168,12 @@ func RunContinual(m Machine, log []*Job, spec JobSpec, utilCap float64) (Continu
 	return RunContinualOpts(m, log, spec, ContinualOpts{UtilCap: utilCap})
 }
 
+// RunContinualCtx is RunContinual under a context: a cancelled ctx aborts
+// the co-simulation cooperatively and returns ctx's error.
+func RunContinualCtx(ctx context.Context, m Machine, log []*Job, spec JobSpec, utilCap float64) (ContinualResult, error) {
+	return RunContinualOptsCtx(ctx, m, log, spec, ContinualOpts{UtilCap: utilCap})
+}
+
 // Preemption configures the controller extension that kills running
 // interstitial jobs when they block the native head job; see
 // internal/core for semantics.
@@ -161,18 +191,30 @@ type ContinualOpts struct {
 // RunContinualOpts is RunContinual with the full option set, including the
 // beyond-the-paper preemption extension.
 func RunContinualOpts(m Machine, log []*Job, spec JobSpec, opts ContinualOpts) (ContinualResult, error) {
+	return RunContinualOptsCtx(context.Background(), m, log, spec, opts)
+}
+
+// RunContinualOptsCtx is RunContinualOpts under a context: a cancelled ctx
+// aborts the co-simulation cooperatively and returns ctx's error.
+func RunContinualOptsCtx(ctx context.Context, m Machine, log []*Job, spec JobSpec, opts ContinualOpts) (ContinualResult, error) {
 	if err := spec.Validate(); err != nil {
 		return ContinualResult{}, err
 	}
 	natives := job.CloneAll(log)
 	sm := m.NewSimulator()
+	sm.SetContext(ctx)
 	sm.Submit(natives...)
 	ctrl := core.NewController(spec)
 	ctrl.StopAt = m.Workload.Duration()
 	ctrl.UtilCap = opts.UtilCap
 	ctrl.Preempt = opts.Preempt
-	ctrl.Attach(sm)
+	if err := ctrl.Attach(sm); err != nil {
+		return ContinualResult{}, err
+	}
 	sm.Run()
+	if sm.Interrupted() {
+		return ContinualResult{}, ctx.Err()
+	}
 	all := append(append([]*Job{}, natives...), ctrl.Jobs...)
 	overall, native := stats.UtilizationByClass(all, m.Workload.Machine.CPUs, 0, m.Workload.Duration())
 	return ContinualResult{
@@ -195,7 +237,10 @@ func PlanOmniscient(m Machine, ranLog []*Job, p ProjectSpec, startAt Time) (Time
 	spec := p.JobSpecFor(m.Workload.Machine.ClockGHz)
 	ideal := theory.Makespan(p.PetaCycles, m.Workload.Machine.CPUs, m.Workload.Machine.ClockGHz, m.Workload.TargetUtil)
 	copies := int((float64(startAt)+ideal*3)/float64(horizon)) + 2
-	free := core.FreeTimeline(ranLog, m.Workload.Machine.CPUs, horizon, copies)
+	free, err := core.FreeTimeline(ranLog, m.Workload.Machine.CPUs, horizon, copies)
+	if err != nil {
+		return 0, err
+	}
 	res, err := core.PackProject(free, spec, startAt, p.KJobs)
 	if err != nil {
 		return 0, err
