@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover bench fuzz paper extensions examples clean
+.PHONY: all build test cover bench fuzz paper extensions examples trace-demo clean
 
 all: build test
 
@@ -56,5 +56,16 @@ examples:
 	@for e in quickstart paramsweep capacityplan omniscient preemption swfreplay; do \
 		echo "=== examples/$$e ==="; $(GO) run ./examples/$$e || exit 1; done
 
+# Smoke the decision-tracing pipeline end to end: trace a scaled-down
+# Table 2 regeneration, validate the JSONL export against the schema,
+# render the tracescope report, and exercise the Perfetto export. The
+# trace_demo.* artifacts are gitignored.
+trace-demo:
+	$(GO) run ./cmd/experiments -scale 0.05 -workers 4 -trace trace_demo.jsonl table2
+	$(GO) run ./cmd/tracescope -check trace_demo.jsonl
+	$(GO) run ./cmd/tracescope trace_demo.jsonl
+	$(GO) run ./cmd/birminator -machine Ross -scale 0.02 -interstitial-cpus 8 \
+		-trace trace_demo.chrome.json -trace-format chrome
+
 clean:
-	rm -f cover.out cover.out.tmp BENCH_*.txt
+	rm -f cover.out cover.out.tmp BENCH_*.txt trace_demo.*

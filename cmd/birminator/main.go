@@ -5,18 +5,23 @@
 //
 // Usage:
 //
-//	birminator -machine "Blue Mountain" [-trace log.swf] [-seed 1]
+//	birminator -machine "Blue Mountain" [-replay log.swf] [-seed 1]
 //	           [-interstitial-cpus 32] [-interstitial-sec1ghz 120]
 //	           [-utilcap 0.95] [-project-jobs 0] [-project-start-h 100]
+//	           [-trace file [-trace-format f] [-trace-sample N]]
 //
-// With no -trace, a calibrated synthetic log is generated. With
+// With no -replay, a calibrated synthetic log is generated. With
 // -interstitial-cpus 0 the run is native-only. -project-jobs > 0 runs a
-// finite project instead of continual submission. Invalid flags (unknown
-// machine, negative seed, utilcap outside [0,1], ...) are rejected up
-// front with exit status 2.
+// finite project instead of continual submission. -trace records every
+// scheduler decision of the run and writes it to the given file in
+// -trace-format (jsonl, chrome for Perfetto, or audit CSV), keeping at
+// most -trace-sample events (0 = all). Invalid flags (unknown machine,
+// negative seed, utilcap outside [0,1], ...) are rejected up front with
+// exit status 2.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,13 +32,14 @@ import (
 	"interstitial/internal/job"
 	"interstitial/internal/stats"
 	"interstitial/internal/trace"
+	"interstitial/internal/tracing"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("birminator: ")
 	machineName := flag.String("machine", "Blue Mountain", `machine: "Ross", "Blue Mountain", or "Blue Pacific"`)
-	tracePath := flag.String("trace", "", "SWF native log to replay (default: synthesize one)")
+	replayPath := flag.String("replay", "", "SWF native log to replay (default: synthesize one)")
 	seed := flag.Int64("seed", 1, "seed for synthetic logs")
 	scale := flag.Float64("scale", 1.0, "shrink synthetic log by this factor")
 	iCPUs := flag.Int("interstitial-cpus", 0, "CPUs per interstitial job (0 = native-only run)")
@@ -42,7 +48,11 @@ func main() {
 	projJobs := flag.Int("project-jobs", 0, "finite project size in jobs (0 = continual)")
 	projStartH := flag.Float64("project-start-h", 0, "project start time in hours")
 	dump := flag.String("dump", "", "write the simulated schedule (native + interstitial records, with waits) as SWF to this file")
+	tracePath := flag.String("trace", "", "record every scheduler decision and write the trace to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace export format: jsonl, chrome (Perfetto-loadable), or audit (per-job CSV)")
+	traceSample := flag.Int("trace-sample", 0, "max events kept in the trace, head/tail sampled (0 = keep all)")
 	flag.Parse()
+	format, formatErr := tracing.ParseFormat(*traceFormat)
 
 	usageError := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "birminator: "+format+"\n", args...)
@@ -67,6 +77,14 @@ func main() {
 		usageError("-project-jobs %d is negative", *projJobs)
 	case *projStartH < 0:
 		usageError("-project-start-h %g is negative", *projStartH)
+	case formatErr != nil:
+		usageError("-trace-format: %v", formatErr)
+	case *traceSample < 0:
+		usageError("-trace-sample %d is negative", *traceSample)
+	case *traceFormat != "jsonl" && *tracePath == "":
+		usageError("-trace-format without -trace")
+	case *traceSample > 0 && *tracePath == "":
+		usageError("-trace-sample without -trace")
 	}
 	if *scale < 1 {
 		m.Workload.Days *= *scale
@@ -74,8 +92,8 @@ func main() {
 	}
 
 	var natives []*interstitial.Job
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -124,9 +142,26 @@ func main() {
 		fmt.Printf("schedule written to %s (%d records)\n", *dump, len(dumpJobs))
 	}()
 
+	// Decision tracing: one tracer for the single run each mode performs.
+	var collector *interstitial.TraceCollector
+	var tracer *interstitial.Tracer
+	if *tracePath != "" {
+		collector = interstitial.NewTraceCollector(*traceSample)
+	}
+	newTracer := func(mode string) *interstitial.Tracer {
+		if collector == nil {
+			return nil
+		}
+		return collector.Tracer(mode+"/"+m.Name, m.Name, m.Workload.Machine.CPUs)
+	}
+
 	switch {
 	case *iCPUs <= 0:
-		util := interstitial.RunNative(m, natives)
+		tracer = newTracer("native")
+		util, err := interstitial.RunNativeTraced(m, natives, tracer)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("native-only: %d jobs, native utilization %.3f\n", len(natives), util)
 		report(m, natives, nil, horizon)
 		dumpJobs = natives
@@ -137,7 +172,9 @@ func main() {
 			KJobs:      *projJobs,
 			CPUsPerJob: *iCPUs,
 		}
-		res, err := interstitial.RunProject(m, natives, spec, interstitial.Time(*projStartH*3600))
+		tracer = newTracer("project")
+		res, err := interstitial.RunProjectTraced(context.Background(), m, natives, spec,
+			interstitial.Time(*projStartH*3600), tracer)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -147,7 +184,9 @@ func main() {
 
 	default:
 		spec := interstitial.JobSpec{CPUs: *iCPUs, Runtime: m.Seconds1GHz(*iSec)}
-		res, err := interstitial.RunContinual(m, natives, spec, *utilCap)
+		tracer = newTracer("continual")
+		res, err := interstitial.RunContinualOpts(m, natives, spec,
+			interstitial.ContinualOpts{UtilCap: *utilCap, Tracer: tracer})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -155,6 +194,22 @@ func main() {
 			spec.CPUs, spec.Runtime, *utilCap, len(res.Jobs))
 		report(m, res.Natives, res.Jobs, horizon)
 		dumpJobs = append(append([]*interstitial.Job{}, res.Natives...), res.Jobs...)
+	}
+
+	if collector != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracing.Export(f, collector, format); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d events emitted (%d dropped) -> %s (%s)\n",
+			tracer.Emitted(), tracer.Dropped(), *tracePath, format)
 	}
 }
 

@@ -3,7 +3,9 @@
 // Usage:
 //
 //	experiments [-seed N] [-scale F] [-reps N] [-samples N] [-workers N]
-//	            [-timeout D] [-csv dir] [-metrics] [-pprof addr] [names...]
+//	            [-timeout D] [-csv dir] [-metrics] [-metrics-json file]
+//	            [-pprof addr] [-trace file [-trace-format f] [-trace-sample N]]
+//	            [names...]
 //
 // Experiments run concurrently on a worker pool bounded by -workers
 // (default: GOMAXPROCS); output is rendered in evaluation order and is
@@ -17,6 +19,15 @@
 // profiling a long run, e.g. `-pprof localhost:6060`. Both are
 // observation-only: the rendered tables on stdout are byte-identical with
 // or without them.
+//
+// -trace records every scheduler decision of every simulation the run
+// performs and exports the collected trace on exit: -trace-format jsonl
+// (the schema cmd/tracescope validates), chrome (load in Perfetto or
+// chrome://tracing; one track per machine run), or audit (per-job
+// lifecycle CSV). -trace-sample N bounds memory on long runs by keeping
+// the first N/2 and last ~N/2 events per run. -metrics-json archives the
+// final metrics snapshot as stable JSON next to the trace. All of it is
+// observation-only: stdout stays byte-identical.
 //
 // -timeout bounds the whole run: when it expires, in-flight simulations
 // abort cooperatively (within ~4096 kernel events), completed tables are
@@ -38,6 +49,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
@@ -45,6 +57,7 @@ import (
 	"time"
 
 	"interstitial/internal/experiments"
+	"interstitial/internal/tracing"
 )
 
 // usageError rejects bad flags before any work starts: message, usage,
@@ -63,10 +76,15 @@ func main() {
 	workers := flag.Int("workers", 0, "parallelism across and within experiments (default GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write each experiment's data points as <dir>/<name>.csv")
 	metrics := flag.Bool("metrics", false, "dump the metric registry and per-experiment timing to stderr after the run")
+	metricsJSON := flag.String("metrics-json", "", "also archive the final metrics snapshot as JSON to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long, keeping completed tables (0 = no limit)")
+	tracePath := flag.String("trace", "", "record every scheduler decision and write the trace to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace export format: jsonl, chrome (Perfetto-loadable), or audit (per-job CSV)")
+	traceSample := flag.Int("trace-sample", 0, "max events kept per traced run, head/tail sampled (0 = keep all)")
 	list := flag.Bool("list", false, "print the valid experiment names and exit")
 	flag.Parse()
+	format, formatErr := tracing.ParseFormat(*traceFormat)
 	switch {
 	case *seed < 0:
 		usageError("-seed %d is negative", *seed)
@@ -80,6 +98,14 @@ func main() {
 		usageError("-workers %d is negative", *workers)
 	case *timeout < 0:
 		usageError("-timeout %v is negative", *timeout)
+	case formatErr != nil:
+		usageError("-trace-format: %v", formatErr)
+	case *traceSample < 0:
+		usageError("-trace-sample %d is negative", *traceSample)
+	case *traceFormat != "jsonl" && *tracePath == "":
+		usageError("-trace-format without -trace")
+	case *traceSample > 0 && *tracePath == "":
+		usageError("-trace-sample without -trace")
 	}
 	if *list {
 		for _, n := range experiments.AllNames() {
@@ -103,6 +129,11 @@ func main() {
 	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Samples: *samples, Workers: *workers, Ctx: ctx}
 	lab := experiments.NewLab(opts)
 	reg := experiments.NewRegistry(lab)
+	var collector *tracing.Collector
+	if *tracePath != "" {
+		collector = tracing.NewCollector(*traceSample)
+		lab.SetTracing(collector)
+	}
 
 	if *pprofAddr != "" {
 		// The default mux already has pprof (import above) and expvar's
@@ -184,6 +215,37 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: metrics dump: %v\n", err)
 		}
 	}
+	if *metricsJSON != "" {
+		if err := writeFileWith(*metricsJSON, lab.Metrics().Snapshot().WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *tracePath != "" {
+		if err := writeFileWith(*tracePath, func(w io.Writer) error {
+			return tracing.Export(w, collector, format)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+			os.Exit(1)
+		}
+		emitted, dropped := collector.Totals()
+		fmt.Fprintf(os.Stderr, "experiments: trace: %d runs, %d events emitted (%d dropped) -> %s (%s)\n",
+			len(collector.Runs()), emitted, dropped, *tracePath, format)
+	}
+}
+
+// writeFileWith creates path and streams write into it, reporting the
+// first error including the final close (a full disk fails the close).
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeCSV dumps an experiment's data points when it supports CSV export.

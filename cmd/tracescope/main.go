@@ -1,0 +1,65 @@
+// Command tracescope analyzes a scheduler decision trace (the JSONL
+// export of cmd/experiments -trace or cmd/birminator -trace): it
+// validates the file against the event schema, then summarizes it —
+// per-run and per-decision-kind event counts, the preemption victim age
+// distribution, and the largest idle holes the scheduler left between
+// decisions.
+//
+// Usage:
+//
+//	tracescope [-check] trace.jsonl
+//	tracescope            (reads stdin)
+//
+// -check stops after schema validation, printing nothing on success: the
+// CI smoke target uses it as the schema gate. Any malformed line — bad
+// JSON, unknown kind or reason, non-monotonic sequence numbers or
+// timestamps, busy counts outside the machine — exits 1 with the line's
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"interstitial/internal/tracing"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracescope: ")
+	check := flag.Bool("check", false, "validate the trace against the event schema and exit (silent on success)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	default:
+		fmt.Fprintln(os.Stderr, "tracescope: at most one trace file")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *check {
+		if _, err := tracing.ReadJSONL(in); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	s, err := tracing.Summarize(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.WriteReport(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"interstitial/internal/job"
 	"interstitial/internal/sched"
 	"interstitial/internal/sim"
+	"interstitial/internal/tracing"
 )
 
 // Controller is the fallible-mode interstitial controller: the paper's
@@ -142,18 +143,19 @@ func (c *Controller) afterPass(s *engine.Simulator, res sched.PassResult) {
 		return
 	}
 	// Resubmit preempted remainders first, then fresh jobs.
-	for len(c.backlog) > 0 && c.admit(s, res, c.backlog[0]) {
+	for len(c.backlog) > 0 && c.admit(s, res, c.backlog[0], tracing.ReasonContinuation) {
 		c.backlog = c.backlog[1:]
 	}
-	for !c.Done() && c.Remaining() != 0 && c.admit(s, res, pendingWork{run: c.Spec.Runtime}) {
+	for !c.Done() && c.Remaining() != 0 && c.admit(s, res, pendingWork{run: c.Spec.Runtime}, tracing.ReasonFresh) {
 		c.created++
 	}
 }
 
 // admit starts one interstitial job for the given work unit (useful run
 // time plus any restart overhead) if every Figure-1 condition holds, and
-// reports whether it did.
-func (c *Controller) admit(s *engine.Simulator, res sched.PassResult, w pendingWork) bool {
+// reports whether it did. reason records whether the unit is fresh work
+// or the continuation of a preempted remainder.
+func (c *Controller) admit(s *engine.Simulator, res sched.PassResult, w pendingWork, reason tracing.Reason) bool {
 	now := s.Now()
 	m := s.Machine()
 	runtime := w.run + w.overhead
@@ -176,6 +178,9 @@ func (c *Controller) admit(s *engine.Simulator, res sched.PassResult, w pendingW
 	c.nextID++
 	j := job.NewInterstitial(interstitialIDBase+c.nextID, c.Spec.CPUs, runtime, now)
 	j.Overhead = w.overhead
+	if t := s.Tracer(); t != nil {
+		t.Emit(now, tracing.KindSpawn, reason, j.ID, j.CPUs, m.Busy(), int64(w.overhead))
+	}
 	s.StartDirect(j)
 	if !c.IgnorePlan && res.Plan != nil {
 		res.Plan.Reserve(now, c.Spec.CPUs, runtime)

@@ -7,6 +7,7 @@ import (
 	"interstitial/internal/job"
 	"interstitial/internal/profile"
 	"interstitial/internal/sim"
+	"interstitial/internal/tracing"
 )
 
 // FreeTimeline builds the free-CPU step function left behind by a recorded
@@ -125,6 +126,15 @@ type OmniscientResult struct {
 // natives follow the recorded timeline exactly, they are unaffected — the
 // paper's definition of omniscient interstitial computing.
 func PackProject(free *profile.Profile, spec JobSpec, startAt sim.Time, kJobs int) (OmniscientResult, error) {
+	return PackProjectTraced(free, spec, startAt, kJobs, nil)
+}
+
+// PackProjectTraced is PackProject with decision tracing: each batch
+// placement is emitted as a place/omniscient-pack event whose Job is the
+// batch index, CPUs the batch width (jobs × job CPUs), and Aux the batch
+// size in jobs. Busy is NoBusy — the packer works against a recorded free
+// timeline, not a live machine. A nil tracer traces nothing.
+func PackProjectTraced(free *profile.Profile, spec JobSpec, startAt sim.Time, kJobs int, tr *tracing.Tracer) (OmniscientResult, error) {
 	if err := spec.Validate(); err != nil {
 		return OmniscientResult{}, err
 	}
@@ -148,6 +158,10 @@ func PackProject(free *profile.Profile, spec JobSpec, startAt sim.Time, kJobs in
 			q = remaining
 		}
 		free.Reserve(t, q*spec.CPUs, spec.Runtime)
+		if tr != nil {
+			tr.Emit(t, tracing.KindPlace, tracing.ReasonOmniscientPack,
+				len(res.Batches), q*spec.CPUs, tracing.NoBusy, int64(q))
+		}
 		res.Batches = append(res.Batches, Batch{Start: t, Jobs: q})
 		remaining -= q
 		if end := t + spec.Runtime; end > lastEnd {

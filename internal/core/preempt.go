@@ -6,6 +6,7 @@ import (
 	"interstitial/internal/engine"
 	"interstitial/internal/job"
 	"interstitial/internal/sim"
+	"interstitial/internal/tracing"
 )
 
 // Preemption extends the controller beyond the paper: the paper's jobs
@@ -73,7 +74,7 @@ func (c *Controller) preempt(s *engine.Simulator) bool {
 		if deficit <= 0 {
 			break
 		}
-		c.kill(s, j)
+		c.kill(s, j, tracing.ReasonHeadBlocked)
 		deficit -= j.CPUs
 		killed = true
 	}
@@ -89,14 +90,16 @@ func (c *Controller) Evict(s *engine.Simulator, j *job.Job) bool {
 	if j.Class != job.Interstitial || j.State != job.Running {
 		return false
 	}
-	c.kill(s, j)
+	c.kill(s, j, tracing.ReasonFaultEvict)
 	return true
 }
 
 // kill aborts one running interstitial job, accounts the lost work, and
 // queues the un-checkpointed remainder for resubmission. With a nil
-// Preempt the kill is instantaneous and nothing is checkpointed.
-func (c *Controller) kill(s *engine.Simulator, j *job.Job) {
+// Preempt the kill is instantaneous and nothing is checkpointed. reason
+// records what forced the kill (head-blocked preemption vs. fault
+// eviction).
+func (c *Controller) kill(s *engine.Simulator, j *job.Job, reason tracing.Reason) {
 	var ckpt, latency, restart sim.Time
 	if c.Preempt != nil {
 		ckpt, latency, restart = c.Preempt.CheckpointEvery, c.Preempt.KillLatency, c.Preempt.RestartOverhead
@@ -117,6 +120,9 @@ func (c *Controller) kill(s *engine.Simulator, j *job.Job) {
 	s.Kill(j)
 	j.Finish = now // record when the job left the machine
 	c.KilledJobs++
+	if t := s.Tracer(); t != nil {
+		t.Emit(now, tracing.KindKill, reason, j.ID, j.CPUs, s.Machine().Busy(), int64(ran))
+	}
 	if latency > 0 {
 		// The kill is not instantaneous: a maintenance-class blocker holds
 		// the CPUs for the latency, delaying whatever the kill freed them

@@ -16,6 +16,7 @@ import (
 	"interstitial/internal/machine"
 	"interstitial/internal/sched"
 	"interstitial/internal/sim"
+	"interstitial/internal/tracing"
 )
 
 // Event phase priorities: completions are observed before new submissions,
@@ -53,8 +54,30 @@ type Simulator struct {
 	timedPassAt sim.Time
 	timedPass   sim.Handle
 
+	// tracer records scheduler decisions; nil (the default) is tracing
+	// off, and every emit site guards on it.
+	tracer *tracing.Tracer
+
 	stats Stats
 }
+
+// SetTracer installs the decision tracer on the simulator, its dispatcher,
+// and the kernel's run hook. Pass nil to disable; the nil case must not
+// reach sim.SetRunHook as a typed non-nil interface, hence the guard.
+func (s *Simulator) SetTracer(t *tracing.Tracer) {
+	s.tracer = t
+	s.disp.SetTracer(t)
+	if t != nil {
+		s.eng.SetRunHook(t)
+	} else {
+		s.eng.SetRunHook(nil)
+	}
+}
+
+// Tracer reports the installed tracer (nil when tracing is off). Layers
+// above the engine — the interstitial controller, fault injectors — emit
+// their decisions through it.
+func (s *Simulator) Tracer() *tracing.Tracer { return s.tracer }
 
 // Stats counts what the simulator did: the scheduler-level view the paper
 // reports alongside utilization (submissions, dispatches, backfill fills,
@@ -156,7 +179,11 @@ func (s *Simulator) injectPending() {
 	now := s.eng.Now()
 	i := 0
 	for i < len(s.pending) && s.pending[i].Submit <= now {
-		s.queue.Push(s.pending[i])
+		j := s.pending[i]
+		s.queue.Push(j)
+		if s.tracer != nil {
+			s.tracer.Emit(now, tracing.KindSubmit, tracing.ReasonQueued, j.ID, j.CPUs, s.m.Busy(), int64(j.Estimate))
+		}
 		s.pending[i] = nil
 		i++
 	}
@@ -174,6 +201,9 @@ func (s *Simulator) SubmitNow(j *job.Job) {
 	j.Submit = s.eng.Now()
 	s.stats.Submitted++
 	s.queue.Push(j)
+	if s.tracer != nil {
+		s.tracer.Emit(j.Submit, tracing.KindSubmit, tracing.ReasonQueued, j.ID, j.CPUs, s.m.Busy(), int64(j.Estimate))
+	}
 	s.requestPass()
 }
 
@@ -188,6 +218,13 @@ func (s *Simulator) StartDirect(j *job.Job) {
 	}
 	s.m.Start(now, j)
 	s.stats.DirectStarts++
+	if s.tracer != nil {
+		reason := tracing.ReasonInterstitialFill
+		if j.Class == job.Maintenance {
+			reason = tracing.ReasonMaintenance
+		}
+		s.tracer.Emit(now, tracing.KindPlace, reason, j.ID, j.CPUs, s.m.Busy(), int64(j.Runtime))
+	}
 	s.scheduleFinish(j)
 }
 
@@ -197,6 +234,15 @@ func (s *Simulator) scheduleFinish(j *job.Job) {
 		s.m.Finish(s.eng.Now(), j)
 		s.disp.Policy().OnFinish(s.eng.Now(), j)
 		s.finished = append(s.finished, j)
+		if s.tracer != nil {
+			// A maintenance occupation ending is a capacity restore (outage
+			// repaired, kill-latency blocker released), not a job finish.
+			kind, reason := tracing.KindFinish, tracing.ReasonNone
+			if j.Class == job.Maintenance {
+				kind, reason = tracing.KindRestore, tracing.ReasonMaintenance
+			}
+			s.tracer.Emit(s.eng.Now(), kind, reason, j.ID, j.CPUs, s.m.Busy(), int64(j.Runtime))
+		}
 		s.requestPass()
 	}))
 }

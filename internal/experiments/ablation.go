@@ -236,6 +236,7 @@ func AblationPreemption(l *Lab) *AblationResult {
 func runScenarioPre(l *Lab, label string, sys testbed.System, log []*job.Job, spec core.JobSpec, pre *core.Preemption) ablationRow {
 	natives := job.CloneAll(log)
 	sm := l.newSim(sys)
+	sm.SetTracer(l.scenarioTracer(label, sys))
 	sm.Submit(natives...)
 	horizon := sys.Workload.Duration()
 	ctrl := core.NewController(spec)

@@ -107,6 +107,7 @@ func FaultsSensitivity(l *Lab) *FaultsResult {
 			faults.CorruptEstimates(natives, rg.CorruptFrac, o.Seed+int64(row))
 		}
 		sm := l.newSim(b.sys)
+		sm.SetTracer(l.scenarioTracer(fmt.Sprintf("r%02d-c%02d", row, col), b.sys))
 		sm.Submit(natives...)
 		ctrl := core.NewController(core.JobSpec{CPUs: 32, Runtime: unitR})
 		ctrl.StopAt = horizon

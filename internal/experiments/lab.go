@@ -27,6 +27,7 @@ import (
 	"interstitial/internal/obs"
 	"interstitial/internal/sim"
 	"interstitial/internal/testbed"
+	"interstitial/internal/tracing"
 )
 
 // Options control experiment scale and reproducibility.
@@ -197,9 +198,18 @@ type labCore struct {
 	met  *labMetrics
 	sink faultSink
 
+	// trace, when non-nil, collects a decision trace from every simulation
+	// the lab runs (SetTracing). Reads race-free because it is set once,
+	// before any artifact computes.
+	trace *tracing.Collector
+
 	mu        sync.Mutex // guards the maps, never held while computing
 	baselines map[string]*baselineEntry
 	continual map[continualKey]*continualEntry
+	// traceFolded* remember the collector totals already folded into the
+	// metrics registry, so repeated folds (one per RunAll) add only deltas.
+	traceFoldedEmitted uint64
+	traceFoldedDropped uint64
 
 	// Computation counters (test hooks): they count actual artifact
 	// computations, not cache hits, so tests can assert singleflight.
@@ -239,6 +249,44 @@ func (l *Lab) owner() string {
 // Metrics returns the lab's metrics registry for reporting (snapshot,
 // text dump, expvar publication).
 func (l *Lab) Metrics() *obs.Registry { return l.met.reg }
+
+// SetTracing installs a trace collector: every simulation the lab runs
+// from now on records its scheduler decisions into a per-run tracer.
+// Call it once, on a fresh Lab, before any experiment runs — artifacts
+// computed earlier stay untraced (their memo already resolved). A nil
+// collector (the default) disables tracing. Tracing is observation only:
+// rendered tables are byte-identical with it on or off.
+func (l *Lab) SetTracing(c *tracing.Collector) { l.trace = c }
+
+// Trace returns the installed collector (nil when tracing is off).
+func (l *Lab) Trace() *tracing.Collector { return l.trace }
+
+// scenarioTracer registers a decision tracer for one ad-hoc scenario
+// simulation, labeled "<experiment>/<label>". Labels must be unique
+// within an experiment (the collector panics on duplicates — they are
+// code, not input). Nil when tracing is off.
+func (l *Lab) scenarioTracer(label string, sys testbed.System) *tracing.Tracer {
+	if l.trace == nil {
+		return nil
+	}
+	return l.trace.Tracer(l.owner()+"/"+label, sys.Workload.Machine.Name, sys.Workload.Machine.CPUs)
+}
+
+// foldTrace adds the collector totals not yet folded into the metrics
+// registry. Called after every RunAll barrier; delta-based so repeated
+// folds never double-count.
+func (l *labCore) foldTrace() {
+	if l.trace == nil {
+		return
+	}
+	emitted, dropped := l.trace.Totals()
+	l.mu.Lock()
+	de, dd := emitted-l.traceFoldedEmitted, dropped-l.traceFoldedDropped
+	l.traceFoldedEmitted, l.traceFoldedDropped = emitted, dropped
+	l.mu.Unlock()
+	l.met.traceEmitted.Add(de)
+	l.met.traceDropped.Add(dd)
+}
 
 // Timings returns the per-experiment timing report, filled by
 // Registry.RunAll.
@@ -380,7 +428,10 @@ func (l *labCore) Baseline(name string) *baseline {
 			panic(err) // cancellation: classified by the cell boundary
 		}
 		ran := job.CloneAll(log)
-		sm, util, err := sys.RunNativeCtx(l.ctx, ran)
+		// Only the final native run is traced; calibration's internal
+		// sims are throwaway searches, not decisions anyone audits.
+		tr := l.trace.Tracer("baseline/"+name, name, sys.Workload.Machine.CPUs)
+		sm, util, err := sys.RunNativeObserved(l.ctx, ran, tr)
 		if err != nil {
 			panic(err)
 		}
@@ -417,6 +468,11 @@ func (l *labCore) Continual(name string, spec core.JobSpec, capPct int) *continu
 		b := l.Baseline(name)
 		natives := job.CloneAll(b.log)
 		sm := l.newSim(b.sys)
+		if l.trace != nil {
+			sm.SetTracer(l.trace.Tracer(
+				fmt.Sprintf("continual/%s/%dcpu-%ds-cap%02d", name, spec.CPUs, spec.Runtime, capPct),
+				name, b.sys.Workload.Machine.CPUs))
+		}
 		sm.Submit(natives...)
 		ctrl := core.NewController(spec)
 		ctrl.StopAt = b.sys.Workload.Duration()

@@ -45,6 +45,9 @@ type labMetrics struct {
 	poolPeak     *obs.MaxGauge
 	poolInflated *obs.Counter
 
+	traceEmitted *obs.Counter
+	traceDropped *obs.Counter
+
 	timings *obs.Timings
 }
 
@@ -81,6 +84,9 @@ func newLabMetrics() *labMetrics {
 		poolActive:   reg.Gauge("pool_workers_active", "goroutines currently working a fan-out"),
 		poolPeak:     reg.MaxGauge("pool_workers_peak", "peak concurrent fan-out workers"),
 		poolInflated: reg.Counter("pool_helpers_total", "helper goroutines spawned by fan-outs"),
+
+		traceEmitted: reg.Counter("trace_events_emitted_total", "scheduler decision events emitted by tracing"),
+		traceDropped: reg.Counter("trace_events_dropped_total", "emitted trace events discarded by the sample budget"),
 
 		timings: &obs.Timings{},
 	}

@@ -276,5 +276,6 @@ func (g *Registry) RunAll(names []string) ([]Renderer, *RunReport, error) {
 	if total := g.lab.met.cells.Load() - before; total > attributed {
 		g.lab.met.timings.Record("(shared)", 0, total-attributed, "")
 	}
+	g.lab.foldTrace()
 	return out, report, firstErr
 }

@@ -11,6 +11,7 @@ import (
 	"interstitial/internal/sim"
 	"interstitial/internal/stats"
 	"interstitial/internal/theory"
+	"interstitial/internal/tracing"
 )
 
 // Table2Projects are the six project configurations of Table 2: three
@@ -108,7 +109,13 @@ func Table2(l *Lab) (*Table2Result, error) {
 	reps := o.Reps
 	l.fanout(len(cells)*reps, func(t int) {
 		c, k := cells[t/reps], t%reps
-		pr, err := core.PackProject(c.free.Clone(), c.spec, c.starts[k], c.proj.KJobs)
+		var tr *tracing.Tracer
+		if col := l.Trace(); col != nil {
+			tr = col.Tracer(
+				fmt.Sprintf("table2/c%02d-%s-%dcpu/rep%02d", t/reps, c.name, c.proj.CPUsPerJob, k),
+				c.name, 0)
+		}
+		pr, err := core.PackProjectTraced(c.free.Clone(), c.spec, c.starts[k], c.proj.KJobs, tr)
 		if err != nil {
 			c.errs[k] = err
 			return

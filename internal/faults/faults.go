@@ -27,6 +27,7 @@ import (
 	"interstitial/internal/job"
 	"interstitial/internal/rng"
 	"interstitial/internal/sim"
+	"interstitial/internal/tracing"
 )
 
 // downIDBase keeps outage down-job IDs disjoint from native logs (1..),
@@ -179,6 +180,11 @@ func (inj *Injector) strike(s *engine.Simulator, o Outage) {
 	inj.nextID++
 	d := job.New(downIDBase+inj.nextID, "_fault", "_fault", down, o.Duration, o.Duration, s.Now())
 	d.Class = job.Maintenance
+	if t := s.Tracer(); t != nil {
+		// The outage decision itself; the down job's occupation and release
+		// appear as place/restore events from StartDirect and its finish.
+		t.Emit(s.Now(), tracing.KindOutage, tracing.ReasonNodeLoss, d.ID, down, m.Busy(), int64(o.Duration))
+	}
 	s.StartDirect(d)
 	inj.Struck++
 	inj.DownCPUSeconds += float64(down) * float64(o.Duration)

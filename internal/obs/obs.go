@@ -23,6 +23,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -161,6 +162,23 @@ func (k Kind) String() string {
 // MarshalText renders the kind for JSON/expvar export.
 func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
 
+// UnmarshalText parses an exported kind so archived snapshots decode.
+// KindMax renders as "gauge" (Prometheus has no max type), so it decodes
+// as KindGauge; the distinction is presentation-only.
+func (k *Kind) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "counter":
+		*k = KindCounter
+	case "gauge":
+		*k = KindGauge
+	case "histogram":
+		*k = KindHistogram
+	default:
+		return fmt.Errorf("obs: unknown metric kind %q", b)
+	}
+	return nil
+}
+
 // metric is one registered primitive.
 type metric struct {
 	name string
@@ -228,24 +246,26 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 
 // MetricSnapshot is one metric's frozen state. All fields are values or
 // freshly allocated slices: a snapshot never aliases live metric state.
+// JSON field order is the declaration order below — stable across runs,
+// so archived snapshots diff cleanly.
 type MetricSnapshot struct {
-	Name  string
-	Help  string
-	Kind  Kind
-	Value float64 // counter / gauge / max value
+	Name  string  `json:"name"`
+	Help  string  `json:"help,omitempty"`
+	Kind  Kind    `json:"kind"`
+	Value float64 `json:"value"` // counter / gauge / max value
 
 	// Histogram-only fields. Counts[i] pairs with Bounds[i]; the final
 	// Counts entry is the +Inf bucket.
-	Count  uint64
-	Sum    float64
-	Bounds []float64
-	Counts []uint64
+	Count  uint64    `json:"count,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
 }
 
 // Snapshot is an immutable export of a registry at one instant, in
 // registration order.
 type Snapshot struct {
-	Metrics []MetricSnapshot
+	Metrics []MetricSnapshot `json:"metrics"`
 }
 
 // Snapshot freezes every registered metric. Individual metrics are read
@@ -331,6 +351,16 @@ func formatBound(b float64) string {
 	return strconv.FormatFloat(b, 'g', -1, 64)
 }
 
+// WriteJSON renders the snapshot as indented JSON. Field order follows the
+// struct declarations and metrics keep registration order, so two
+// snapshots of the same registry state are byte-identical — archivable
+// next to a trace file and diffable across runs.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
 // expvarPublished guards against double-publishing (expvar.Publish panics
 // on duplicate names, and tests may build many registries).
 var expvarPublished sync.Map
@@ -338,10 +368,12 @@ var expvarPublished sync.Map
 // PublishExpvar exposes the registry's live snapshot as the named expvar,
 // so an embedded HTTP server's /debug/vars serves it alongside the
 // runtime's memstats. Publishing the same name twice is a no-op (the first
-// registry wins) rather than the panic expvar itself would raise.
-func (r *Registry) PublishExpvar(name string) {
+// registry wins) rather than the panic expvar itself would raise; the
+// return value reports whether this call was the one that published.
+func (r *Registry) PublishExpvar(name string) bool {
 	if _, dup := expvarPublished.LoadOrStore(name, true); dup {
-		return
+		return false
 	}
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	return true
 }

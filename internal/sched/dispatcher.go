@@ -5,6 +5,7 @@ import (
 	"interstitial/internal/machine"
 	"interstitial/internal/profile"
 	"interstitial/internal/sim"
+	"interstitial/internal/tracing"
 )
 
 // Dispatcher runs scheduling passes: it orders the queue via the policy,
@@ -13,6 +14,7 @@ import (
 // controller needs.
 type Dispatcher struct {
 	policy Policy
+	tracer *tracing.Tracer
 }
 
 // NewDispatcher wraps a policy.
@@ -20,6 +22,12 @@ func NewDispatcher(p Policy) *Dispatcher { return &Dispatcher{policy: p} }
 
 // Policy exposes the wrapped policy.
 func (d *Dispatcher) Policy() Policy { return d.policy }
+
+// SetTracer installs the decision tracer (nil: tracing off). The
+// dispatcher emits at the classification sites inside Schedule, so a
+// start's trace reason records *which* rule dispatched it — head drain
+// vs. backfill flavor — information PassResult only aggregates.
+func (d *Dispatcher) SetTracer(t *tracing.Tracer) { d.tracer = t }
 
 // PassResult reports what a scheduling pass did and the resulting plan.
 type PassResult struct {
@@ -79,6 +87,13 @@ func (d *Dispatcher) start(now sim.Time, m *machine.Machine, p *profile.Profile,
 	p.Reserve(now, j.CPUs, planningDuration(j))
 }
 
+// traceStart records one dispatch decision; aux is the job's queue wait.
+func (d *Dispatcher) traceStart(now sim.Time, m *machine.Machine, j *job.Job, kind tracing.Kind, reason tracing.Reason) {
+	if d.tracer != nil {
+		d.tracer.Emit(now, kind, reason, j.ID, j.CPUs, m.Busy(), int64(now-j.Submit))
+	}
+}
+
 // Schedule runs one pass at time now and returns what happened. It starts
 // native jobs only; interstitial jobs are dispatched by their controller
 // against the returned Plan.
@@ -100,6 +115,7 @@ func (d *Dispatcher) Schedule(now sim.Time, m *machine.Machine, q *Queue) PassRe
 				break
 			}
 			d.start(now, m, p, q.Remove(0))
+			d.traceStart(now, m, h, tracing.KindStart, tracing.ReasonHeadOfQueue)
 			res.Started = append(res.Started, h)
 		}
 		if q.Len() > 0 {
@@ -121,6 +137,7 @@ func (d *Dispatcher) Schedule(now sim.Time, m *machine.Machine, q *Queue) PassRe
 				break
 			}
 			d.start(now, m, p, q.Remove(0))
+			d.traceStart(now, m, h, tracing.KindStart, tracing.ReasonHeadOfQueue)
 			res.Started = append(res.Started, h)
 		}
 		if q.Len() > 0 {
@@ -139,6 +156,7 @@ func (d *Dispatcher) Schedule(now sim.Time, m *machine.Machine, q *Queue) PassRe
 					m.CanStart(j.CPUs) &&
 					p.MinFree(now, now+planningDuration(j)) >= j.CPUs {
 					d.start(now, m, p, q.Remove(i))
+					d.traceStart(now, m, j, tracing.KindBackfill, tracing.ReasonEASYBackfill)
 					res.Started = append(res.Started, j)
 					res.Backfilled++
 					continue
@@ -162,10 +180,13 @@ func (d *Dispatcher) Schedule(now sim.Time, m *machine.Machine, q *Queue) PassRe
 			}
 			if at == now && m.CanStart(j.CPUs) {
 				d.start(now, m, p, q.Remove(i))
-				res.Started = append(res.Started, j)
 				if i > 0 {
+					d.traceStart(now, m, j, tracing.KindBackfill, tracing.ReasonConservativeBackfill)
 					res.Backfilled++
+				} else {
+					d.traceStart(now, m, j, tracing.KindStart, tracing.ReasonHeadOfQueue)
 				}
+				res.Started = append(res.Started, j)
 				continue
 			}
 			p.Reserve(at, j.CPUs, planningDuration(j))

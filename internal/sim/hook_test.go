@@ -1,0 +1,81 @@
+package sim
+
+import "testing"
+
+// recHook records run-boundary callbacks for inspection.
+type recHook struct {
+	begins   []Time
+	ends     []Time
+	executed []uint64
+}
+
+func (h *recHook) RunBegin(at Time) { h.begins = append(h.begins, at) }
+func (h *recHook) RunEnd(at Time, executed uint64) {
+	h.ends = append(h.ends, at)
+	h.executed = append(h.executed, executed)
+}
+
+// TestRunHookBrackets: the hook fires exactly once around each Run /
+// RunUntil with the entry clock, the exit clock, and the cumulative
+// executed count.
+func TestRunHookBrackets(t *testing.T) {
+	e := New()
+	h := &recHook{}
+	e.SetRunHook(h)
+	for _, at := range []Time{2, 4, 6} {
+		e.Schedule(at, EventFunc(func(*Engine) {}))
+	}
+	e.RunUntil(5)
+	e.Run()
+	if len(h.begins) != 2 || len(h.ends) != 2 {
+		t.Fatalf("hook fired %d/%d times, want 2/2", len(h.begins), len(h.ends))
+	}
+	if h.begins[0] != 0 || h.ends[0] != 5 || h.executed[0] != 2 {
+		t.Fatalf("first run bracket = begin %d, end %d, executed %d", h.begins[0], h.ends[0], h.executed[0])
+	}
+	if h.begins[1] != 5 || h.ends[1] != 6 || h.executed[1] != 3 {
+		t.Fatalf("second run bracket = begin %d, end %d, executed %d", h.begins[1], h.ends[1], h.executed[1])
+	}
+	// Detaching restores the unhooked path.
+	e.SetRunHook(nil)
+	e.Schedule(10, EventFunc(func(*Engine) {}))
+	e.Run()
+	if len(h.begins) != 2 {
+		t.Fatal("detached hook still fired")
+	}
+}
+
+// TestNoHookZeroAlloc asserts the disabled-tracing fast path: with no
+// run hook installed, a warm schedule/run cycle allocates nothing — the
+// hook field costs one never-taken branch, not an allocation.
+func TestNoHookZeroAlloc(t *testing.T) {
+	e := New()
+	for i := 0; i < 8; i++ { // warm the free list and heap capacity
+		e.Schedule(e.Now()+1, EventFunc(func(*Engine) {}))
+		e.Run()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		e.Schedule(e.Now()+1, EventFunc(func(*Engine) {}))
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("unhooked schedule/run cycle allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// BenchmarkScheduleRunHooked is BenchmarkScheduleRun with a run hook
+// installed: the hook fires only at Run entry/exit, so the per-event
+// cost must match the unhooked benchmark (compare with benchstat).
+func BenchmarkScheduleRunHooked(b *testing.B) {
+	b.ReportAllocs()
+	h := &recHook{}
+	for i := 0; i < b.N; i++ {
+		e := New()
+		e.SetRunHook(h)
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time((j*2654435761)%100000), EventFunc(func(*Engine) {}))
+		}
+		e.Run()
+		h.begins, h.ends, h.executed = h.begins[:0], h.ends[:0], h.executed[:0]
+	}
+}

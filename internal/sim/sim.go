@@ -113,7 +113,24 @@ type Engine struct {
 	// simulation that never arms cancellation pays nothing for it.
 	done        <-chan struct{}
 	interrupted bool
+
+	// Optional run observer (SetRunHook). Only consulted at Run/RunUntil
+	// entry and exit — never inside the event loop — so the hook's cost is
+	// two virtual calls per run, not per event.
+	hook RunHook
 }
+
+// RunHook observes run-loop boundaries. The kernel calls RunBegin when
+// Run or RunUntil starts and RunEnd when it returns, passing the clock
+// and the cumulative executed-event count. Implementations must not
+// schedule events or otherwise re-enter the engine.
+type RunHook interface {
+	RunBegin(at Time)
+	RunEnd(at Time, executed uint64)
+}
+
+// SetRunHook installs (or, with nil, removes) the run observer.
+func (e *Engine) SetRunHook(h RunHook) { e.hook = h }
 
 // cancelCheckEvery is how many events fire between cancellation polls.
 // It must be a power of two (the check is a mask on the executed count):
@@ -325,6 +342,10 @@ func (e *Engine) step() bool {
 // an armed context (SetContext) is cancelled.
 func (e *Engine) Run() {
 	e.stopped = false
+	if e.hook != nil {
+		e.hook.RunBegin(e.now)
+		defer func() { e.hook.RunEnd(e.now, e.executed) }()
+	}
 	if e.done == nil {
 		// Unarmed hot path: identical to the pre-cancellation loop.
 		for !e.stopped && e.step() {
@@ -346,6 +367,10 @@ func (e *Engine) Run() {
 // armed context; on cancellation the clock stays where the run stopped.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
+	if e.hook != nil {
+		e.hook.RunBegin(e.now)
+		defer func() { e.hook.RunEnd(e.now, e.executed) }()
+	}
 	for !e.stopped {
 		if e.done != nil && e.executed&(cancelCheckEvery-1) == 0 && e.cancelled() {
 			return

@@ -14,6 +14,7 @@ import (
 	"interstitial/internal/sched"
 	"interstitial/internal/sim"
 	"interstitial/internal/stats"
+	"interstitial/internal/tracing"
 	"interstitial/internal/workload"
 )
 
@@ -69,8 +70,17 @@ func (s System) RunNative(jobs []*job.Job) (*engine.Simulator, float64) {
 // alongside the partially-run simulator. With a background context it is
 // byte-for-byte identical to RunNative.
 func (s System) RunNativeCtx(ctx context.Context, jobs []*job.Job) (*engine.Simulator, float64, error) {
+	return s.RunNativeObserved(ctx, jobs, nil)
+}
+
+// RunNativeObserved is RunNativeCtx with decision tracing: tr, when
+// non-nil, records every scheduler decision the run makes. A nil tr is
+// exactly RunNativeCtx — tracing leaves the simulation untouched either
+// way (events are observation only).
+func (s System) RunNativeObserved(ctx context.Context, jobs []*job.Job, tr *tracing.Tracer) (*engine.Simulator, float64, error) {
 	sm := s.NewSimulator()
 	sm.SetContext(ctx)
+	sm.SetTracer(tr)
 	sm.Submit(jobs...)
 	sm.Run()
 	if sm.Interrupted() {

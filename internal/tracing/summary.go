@@ -1,0 +1,156 @@
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"interstitial/internal/sim"
+)
+
+// Summary is the analyzer's view of a parsed JSONL trace: what
+// cmd/tracescope prints. Build it with Summarize.
+type Summary struct {
+	Runs    []*RunRecord
+	Emitted uint64
+	Dropped uint64
+
+	// ByKind and ByDecision count surviving events per kind and per
+	// (kind, reason) pair.
+	ByKind     map[Kind]uint64
+	ByDecision map[string]uint64
+
+	// VictimAges are the ages (seconds since start) of every killed
+	// interstitial job, preemption and eviction alike, in trace order.
+	VictimAges []int64
+
+	// Holes are the largest idle holes across all machine runs: the
+	// top intervals between consecutive decisions ranked by idle
+	// CPU-seconds (free CPUs × duration).
+	Holes []IdleHole
+}
+
+// IdleHole is one interval during which a machine had idle CPUs and the
+// scheduler made no decision.
+type IdleHole struct {
+	Run      string
+	Start    sim.Time
+	Duration sim.Time
+	FreeCPUs int
+}
+
+// Area is the hole's idle capacity in CPU-seconds.
+func (h IdleHole) Area() float64 { return float64(h.FreeCPUs) * float64(h.Duration) }
+
+// maxHoles bounds the idle-hole report.
+const maxHoles = 5
+
+// Summarize parses (and thereby schema-validates) a JSONL trace and
+// computes the analyzer's aggregates.
+func Summarize(r io.Reader) (*Summary, error) {
+	runs, err := ReadJSONL(r)
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary{Runs: runs, ByKind: make(map[Kind]uint64), ByDecision: make(map[string]uint64)}
+	var holes []IdleHole
+	for _, rec := range runs {
+		s.Emitted += rec.Emitted
+		s.Dropped += rec.Dropped
+		prevAt := sim.Time(-1)
+		prevBusy := NoBusy
+		for _, e := range rec.Events {
+			s.ByKind[e.Kind]++
+			s.ByDecision[decisionKey(e)]++
+			if e.Kind == KindKill {
+				s.VictimAges = append(s.VictimAges, e.Aux)
+			}
+			if e.Busy != NoBusy && rec.CPUs > 0 {
+				if prevBusy != NoBusy && e.At > prevAt && prevBusy < rec.CPUs {
+					holes = append(holes, IdleHole{Run: rec.Run, Start: prevAt,
+						Duration: e.At - prevAt, FreeCPUs: rec.CPUs - prevBusy})
+				}
+				prevAt, prevBusy = e.At, e.Busy
+			}
+		}
+	}
+	sort.Slice(holes, func(i, k int) bool {
+		if holes[i].Area() != holes[k].Area() {
+			return holes[i].Area() > holes[k].Area()
+		}
+		if holes[i].Run != holes[k].Run {
+			return holes[i].Run < holes[k].Run
+		}
+		return holes[i].Start < holes[k].Start
+	})
+	if len(holes) > maxHoles {
+		holes = holes[:maxHoles]
+	}
+	s.Holes = holes
+	return s, nil
+}
+
+// decisionKey labels a (kind, reason) pair for the decision table.
+func decisionKey(e Event) string {
+	if e.Reason == ReasonNone {
+		return e.Kind.String()
+	}
+	return e.Kind.String() + "/" + e.Reason.String()
+}
+
+// WriteReport renders the summary as the tracescope report.
+func (s *Summary) WriteReport(w io.Writer) error {
+	fmt.Fprintf(w, "trace: %d runs, %d events emitted, %d kept, %d dropped by sampling\n\n",
+		len(s.Runs), s.Emitted, s.Emitted-s.Dropped, s.Dropped)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "run\tmachine\tcpus\temitted\tkept\tdropped")
+	for _, rec := range s.Runs {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\n",
+			rec.Run, rec.Machine, rec.CPUs, rec.Emitted, len(rec.Events), rec.Dropped)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\ndecisions (kind/reason, kept events):")
+	keys := make([]string, 0, len(s.ByDecision))
+	for k := range s.ByDecision {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, k := range keys {
+		fmt.Fprintf(tw, "  %s\t%d\n", k, s.ByDecision[k])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if len(s.VictimAges) > 0 {
+		ages := append([]int64(nil), s.VictimAges...)
+		sort.Slice(ages, func(i, k int) bool { return ages[i] < ages[k] })
+		var sum int64
+		for _, a := range ages {
+			sum += a
+		}
+		fmt.Fprintf(w, "\npreemption victims: %d kills; age min/median/mean/max = %ds / %ds / %.0fs / %ds\n",
+			len(ages), ages[0], ages[len(ages)/2], float64(sum)/float64(len(ages)), ages[len(ages)-1])
+	} else {
+		fmt.Fprintln(w, "\npreemption victims: none")
+	}
+
+	if len(s.Holes) > 0 {
+		fmt.Fprintln(w, "\nlargest idle holes (free CPUs × duration between decisions):")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  run\tstart\tduration\tfree cpus\tcpu-hours idle")
+		for _, h := range s.Holes {
+			fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%.1f\n", h.Run, int64(h.Start), int64(h.Duration), h.FreeCPUs, h.Area()/3600)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -41,7 +41,22 @@ import (
 	"interstitial/internal/stats"
 	"interstitial/internal/testbed"
 	"interstitial/internal/theory"
+	"interstitial/internal/tracing"
 )
+
+// Tracer records one simulation run's scheduler decisions; TraceCollector
+// owns the tracers of a traced workload and exports them (JSONL, Chrome
+// trace-event, audit table). See internal/tracing and DESIGN.md §10.
+type (
+	Tracer         = tracing.Tracer
+	TraceCollector = tracing.Collector
+)
+
+// NewTraceCollector builds a collector whose per-run tracers each keep at
+// most sampleCap events via head/tail sampling (<= 0: keep everything).
+func NewTraceCollector(sampleCap int) *TraceCollector {
+	return tracing.NewCollector(sampleCap)
+}
 
 // Time is simulated seconds since the log epoch.
 type Time = sim.Time
@@ -98,6 +113,14 @@ func RunNative(m Machine, log []*Job) float64 {
 	return util
 }
 
+// RunNativeTraced is RunNative with decision tracing: tr (from a
+// TraceCollector; nil disables tracing) records every scheduler decision
+// of the run. The simulation itself is identical either way.
+func RunNativeTraced(m Machine, log []*Job, tr *Tracer) (float64, error) {
+	_, util, err := m.RunNativeObserved(context.Background(), log, tr)
+	return util, err
+}
+
 // ProjectSpec sizes an interstitial project in the paper's units.
 type ProjectSpec = core.ProjectSpec
 
@@ -124,12 +147,21 @@ func RunProject(m Machine, log []*Job, p ProjectSpec, startAt Time) (ProjectResu
 // RunProjectCtx is RunProject under a context: a cancelled ctx aborts the
 // co-simulation cooperatively and returns ctx's error.
 func RunProjectCtx(ctx context.Context, m Machine, log []*Job, p ProjectSpec, startAt Time) (ProjectResult, error) {
+	return RunProjectTraced(ctx, m, log, p, startAt, nil)
+}
+
+// RunProjectTraced is RunProjectCtx with decision tracing: tr (from a
+// TraceCollector; nil disables tracing) records every scheduler decision
+// of the co-simulation — native starts and backfills, interstitial
+// spawns, placements, and preemption kills.
+func RunProjectTraced(ctx context.Context, m Machine, log []*Job, p ProjectSpec, startAt Time, tr *Tracer) (ProjectResult, error) {
 	if err := p.Validate(); err != nil {
 		return ProjectResult{}, err
 	}
 	natives := job.CloneAll(log)
 	sm := m.NewSimulator()
 	sm.SetContext(ctx)
+	sm.SetTracer(tr)
 	sm.Submit(natives...)
 	spec := p.JobSpecFor(m.Workload.Machine.ClockGHz)
 	ctrl := core.NewProject(spec, p.KJobs, startAt)
@@ -186,6 +218,9 @@ type ContinualOpts struct {
 	UtilCap float64
 	// Preempt, when non-nil, enables the preemption/checkpoint extension.
 	Preempt *Preemption
+	// Tracer, when non-nil, records the run's scheduler decisions (obtain
+	// one from a TraceCollector). Observation only.
+	Tracer *Tracer
 }
 
 // RunContinualOpts is RunContinual with the full option set, including the
@@ -203,6 +238,7 @@ func RunContinualOptsCtx(ctx context.Context, m Machine, log []*Job, spec JobSpe
 	natives := job.CloneAll(log)
 	sm := m.NewSimulator()
 	sm.SetContext(ctx)
+	sm.SetTracer(opts.Tracer)
 	sm.Submit(natives...)
 	ctrl := core.NewController(spec)
 	ctrl.StopAt = m.Workload.Duration()
