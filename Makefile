@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover bench fuzz paper extensions examples trace-demo clean
+.PHONY: all build test cover bench bench-sched fuzz paper extensions examples trace-demo clean
 
 all: build test
 
@@ -30,14 +30,24 @@ cover:
 # BENCH_<n>.txt so before/after comparisons (benchstat BENCH_1.txt
 # BENCH_2.txt) survive the runs that produced them. The slot is claimed
 # with noclobber (set -C: open(O_EXCL)) so two overlapping invocations
-# can't pick the same number. Use BENCHTIME=5x etc. for longer
-# iterations.
+# can't pick the same number. The claim runs in a subshell: POSIX shells
+# (dash) exit outright on a redirection error for a special builtin, which
+# would kill the loop at the first occupied slot instead of advancing.
+# Use BENCHTIME=5x etc. for longer iterations.
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 3
 bench:
-	@n=1; while ! { set -C; : > BENCH_$$n.txt; } 2>/dev/null; do n=$$((n+1)); done; \
+	@n=1; while ! ( set -C; : > BENCH_$$n.txt ) 2>/dev/null; do n=$$((n+1)); done; \
 	echo "writing BENCH_$$n.txt"; \
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -count $(BENCHCOUNT) ./... | tee BENCH_$$n.txt
+
+# Scheduling hot-path microbenchmarks only — kernel event loop, profile
+# planning queries, and a full dispatcher pass at paper-scale queue depth.
+# Runs in seconds, for quick iteration on scheduler changes; `make bench`
+# records the whole suite to a BENCH_<n>.txt artifact.
+bench-sched:
+	$(GO) test -run '^$$' -bench '^(BenchmarkSimKernel|BenchmarkSchedulePass|BenchmarkProfileEarliestFit|BenchmarkRebuildFromRunning)' \
+		-benchmem -count $(BENCHCOUNT) ./internal/profile/ ./internal/sched/ .
 
 # Each fuzz target gets its own run (go test allows one -fuzz at a time);
 # both are seeded from checked-in corpus files under testdata/fuzz.

@@ -25,10 +25,11 @@ import (
 
 func main() {
 	threshold := flag.Float64("threshold", 15, "max allowed time/op regression in percent")
+	allowNew := flag.Bool("allow-new", false, "pass benchmarks present in head but not in base (a PR introducing its own guard)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold pct] base.txt head.txt Benchmark...")
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold pct] [-allow-new] base.txt head.txt Benchmark...")
 		os.Exit(2)
 	}
 	base, err := parseFile(args[0])
@@ -41,7 +42,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
 	}
-	if ok := gate(os.Stdout, base, head, args[2:], *threshold); !ok {
+	if ok := gate(os.Stdout, base, head, args[2:], *threshold, *allowNew); !ok {
 		os.Exit(1)
 	}
 }
@@ -91,13 +92,20 @@ func parse(r io.Reader) (map[string]float64, error) {
 }
 
 // gate prints a verdict line per guarded benchmark and reports whether all
-// passed. A benchmark missing from either file is a failure: a gate that
-// silently skips a renamed benchmark guards nothing.
-func gate(w io.Writer, base, head map[string]float64, names []string, threshold float64) bool {
+// passed. A benchmark missing from either file is a failure — a gate that
+// silently skips a renamed benchmark guards nothing — except that with
+// allowNew, a benchmark present only in head passes: it is being
+// introduced by the change under test and has no baseline to regress
+// against. Missing from head always fails.
+func gate(w io.Writer, base, head map[string]float64, names []string, threshold float64, allowNew bool) bool {
 	ok := true
 	for _, name := range names {
 		b, bok := base[name]
 		h, hok := head[name]
+		if !bok && hok && allowNew {
+			fmt.Fprintf(w, "new  %s: %.0f ns/op (no baseline)\n", name, h)
+			continue
+		}
 		if !bok || !hok {
 			fmt.Fprintf(w, "FAIL %s: missing from %s\n", name, missing(bok, hok))
 			ok = false

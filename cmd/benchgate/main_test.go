@@ -50,7 +50,7 @@ func TestGate(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var sb strings.Builder
-			got := gate(&sb, base, tc.head, []string{"BenchmarkSimKernel", "BenchmarkLabParallel"}, 15)
+			got := gate(&sb, base, tc.head, []string{"BenchmarkSimKernel", "BenchmarkLabParallel"}, 15, false)
 			if got != tc.want {
 				t.Errorf("gate = %v, want %v\n%s", got, tc.want, sb.String())
 			}
@@ -60,10 +60,27 @@ func TestGate(t *testing.T) {
 
 func TestGateMissingFromBase(t *testing.T) {
 	var sb strings.Builder
-	if gate(&sb, map[string]float64{}, map[string]float64{"BenchmarkX": 1}, []string{"BenchmarkX"}, 15) {
+	if gate(&sb, map[string]float64{}, map[string]float64{"BenchmarkX": 1}, []string{"BenchmarkX"}, 15, false) {
 		t.Error("gate passed with benchmark missing from base")
 	}
 	if !strings.Contains(sb.String(), "base file") {
 		t.Errorf("verdict should name the missing side: %s", sb.String())
+	}
+}
+
+func TestGateAllowNew(t *testing.T) {
+	base := map[string]float64{"BenchmarkOld": 100}
+	head := map[string]float64{"BenchmarkOld": 100, "BenchmarkNew": 50}
+	var sb strings.Builder
+	if !gate(&sb, base, head, []string{"BenchmarkOld", "BenchmarkNew"}, 15, true) {
+		t.Errorf("gate failed on a head-only benchmark with -allow-new:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "no baseline") {
+		t.Errorf("new benchmark should be reported as baseline-less: %s", sb.String())
+	}
+	// -allow-new must not excuse a benchmark that vanished from head.
+	sb.Reset()
+	if gate(&sb, map[string]float64{"BenchmarkGone": 1}, map[string]float64{}, []string{"BenchmarkGone"}, 15, true) {
+		t.Error("gate passed with benchmark missing from head despite -allow-new")
 	}
 }

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"testing"
+
+	"interstitial/internal/job"
+	"interstitial/internal/sched"
+)
+
+// TestSameInstantCompletionsCoalesce checks that the number of dispatcher
+// passes at an instant is independent of how many completions land there:
+// k same-instant finishes produce the same pass sequence as one, a single
+// pass does all the dispatching, redundant externally requested passes are
+// elided, and follower jobs see byte-identical schedules for every k.
+func TestSameInstantCompletionsCoalesce(t *testing.T) {
+	passBaseline := -1
+	for _, k := range []int{1, 2, 4, 8} {
+		s := New(cfg(64), sched.NewLSF())
+		var passesAt100, startedAt100 int
+		s.AfterPass = func(s *Simulator, res sched.PassResult) {
+			if s.Now() == 100 {
+				passesAt100++
+				startedAt100 += len(res.Started)
+			}
+		}
+		id := 1
+		// k jobs split the machine exactly and all finish at t=100.
+		for i := 0; i < k; i++ {
+			s.Submit(job.New(id, "u", "g", 64/k, 100, 100, 0))
+			id++
+		}
+		// k followers queue behind them and can only start at t=100.
+		followers := make([]*job.Job, 0, k)
+		for i := 0; i < k; i++ {
+			f := job.New(id, "u", "g", 64/k, 50, 50, 10)
+			followers = append(followers, f)
+			s.Submit(f)
+			id++
+		}
+		// A controller-style external wake-up at the completion instant,
+		// requested redundantly: dups arm nothing, and the one armed event
+		// fires at an instant whose work is already done.
+		for i := 0; i < 3; i++ {
+			s.RequestPassAt(100)
+		}
+		s.Run()
+		if passBaseline == -1 {
+			passBaseline = passesAt100
+		}
+		if passesAt100 != passBaseline {
+			t.Fatalf("k=%d: %d passes at t=100, want %d (independent of k)", k, passesAt100, passBaseline)
+		}
+		if startedAt100 != k {
+			t.Fatalf("k=%d: passes at t=100 started %d jobs, want %d", k, startedAt100, k)
+		}
+		if s.Stats().PassesElided == 0 {
+			t.Fatalf("k=%d: no pass elided; the redundant t=100 request should be", k)
+		}
+		for _, f := range followers {
+			if f.Start != 100 || f.Finish != 150 {
+				t.Fatalf("k=%d: follower %d ran [%d,%d], want [100,150]", k, f.ID, f.Start, f.Finish)
+			}
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+// TestRedundantPassRequestsElided checks the two layers that keep repeated
+// external pass requests cheap: exact-duplicate RequestPassAt calls arm no
+// extra kernel events, and a pass event firing at an instant where an
+// identical pass already ran is elided without consulting the dispatcher —
+// with outputs identical to the single-request run.
+func TestRedundantPassRequestsElided(t *testing.T) {
+	run := func(requests int) (Stats, []*job.Job) {
+		s := New(cfg(8), sched.NewLSF())
+		a := job.New(1, "u", "g", 8, 100, 100, 0)
+		b := job.New(2, "u", "g", 8, 50, 50, 10)
+		s.Submit(a, b)
+		for i := 0; i < requests; i++ {
+			s.RequestPassAt(100) // coincides with a's finish
+			s.RequestPassAt(300) // quiet instant, nothing to do
+		}
+		s.Run()
+		return s.Stats(), s.Finished()
+	}
+
+	base, baseJobs := run(1)
+	noisy, noisyJobs := run(10)
+
+	// Duplicate requests must not multiply kernel events or real passes.
+	if noisy.Kernel.Executed != base.Kernel.Executed {
+		t.Fatalf("executed events %d with 10x requests, want %d (dups must arm nothing)",
+			noisy.Kernel.Executed, base.Kernel.Executed)
+	}
+	if noisy.Passes != base.Passes {
+		t.Fatalf("real passes %d with 10x requests, want %d", noisy.Passes, base.Passes)
+	}
+	// The t=100 external request fires alongside the finish-triggered pass;
+	// the second event at that instant must be elided, not re-dispatched.
+	if base.PassesElided == 0 {
+		t.Fatal("no pass was elided; expected the duplicate t=100 pass to be")
+	}
+	if len(baseJobs) != len(noisyJobs) {
+		t.Fatalf("finished %d vs %d jobs", len(baseJobs), len(noisyJobs))
+	}
+	for i := range baseJobs {
+		bj, nj := baseJobs[i], noisyJobs[i]
+		if bj.ID != nj.ID || bj.Start != nj.Start || bj.Finish != nj.Finish {
+			t.Fatalf("job %d ran [%d,%d] vs [%d,%d]", bj.ID, bj.Start, bj.Finish, nj.Start, nj.Finish)
+		}
+	}
+}
+
+// TestElisionNeverCrossesInstants guards the elision's safety condition:
+// state-independent but time-dependent decisions (a DPCS night gate) must
+// still be re-evaluated by a timed pass at a later instant even when no
+// queue or machine state changed in between.
+func TestElisionNeverCrossesInstants(t *testing.T) {
+	gate := sched.DPCSGate{BigCPUs: 4, NightStart: 18 * 3600, NightEnd: 6 * 3600}
+	s := New(cfg(8), sched.NewDPCS(gate))
+	// Submitted at 10:00, gated until 18:00; no other event in between.
+	j := job.New(1, "u", "g", 4, 100, 100, 10*3600)
+	s.Submit(j)
+	s.Run()
+	if j.Start != 18*3600 {
+		t.Fatalf("gated job started at %d, want %d", j.Start, 18*3600)
+	}
+	if j.State != job.Finished {
+		t.Fatalf("state = %v", j.State)
+	}
+}

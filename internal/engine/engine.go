@@ -54,6 +54,22 @@ type Simulator struct {
 	timedPassAt sim.Time
 	timedPass   sim.Handle
 
+	// dirty records whether any scheduler-visible state (queue, machine
+	// occupancy, fair-share charges) changed since the last pass ran;
+	// lastPassAt is that pass's instant. Together they let a pass event
+	// elide itself: a second pass at the same instant with no intervening
+	// mutation is a provable no-op (same inputs, deterministic dispatcher,
+	// and the previous pass's plan already armed any timed wake-up).
+	// Elision never crosses instants — priorities and time-of-day gates may
+	// move with the clock alone.
+	dirty      bool
+	lastPassAt sim.Time
+
+	// extPasses tracks the future instants RequestPassAt already has
+	// events armed for, deduplicating exact repeats (controllers
+	// re-request their window openings every pass).
+	extPasses map[sim.Time]struct{}
+
 	// tracer records scheduler decisions; nil (the default) is tracing
 	// off, and every emit site guards on it.
 	tracer *tracing.Tracer
@@ -91,6 +107,9 @@ type Stats struct {
 	// by Kill (interstitial preemptions). Passes counts scheduling passes.
 	Submitted, Dispatched, Backfilled uint64
 	DirectStarts, Kills, Passes       uint64
+	// PassesElided counts pass events that fired but skipped the dispatcher
+	// because nothing changed since a pass at the same instant.
+	PassesElided uint64
 	// Kernel is the event-kernel view of the same run.
 	Kernel sim.Stats
 }
@@ -105,6 +124,8 @@ func New(cfg machine.Config, pol sched.Policy) *Simulator {
 		finishEvents: make(map[int]sim.Handle),
 		injectAt:     sim.Infinity,
 		timedPassAt:  sim.Infinity,
+		lastPassAt:   -1,
+		extPasses:    make(map[sim.Time]struct{}),
 	}
 }
 
@@ -189,6 +210,7 @@ func (s *Simulator) injectPending() {
 	}
 	if i > 0 {
 		s.pending = s.pending[i:]
+		s.dirty = true
 		s.requestPass()
 	}
 	s.injectAt = sim.Infinity
@@ -204,6 +226,7 @@ func (s *Simulator) SubmitNow(j *job.Job) {
 	if s.tracer != nil {
 		s.tracer.Emit(j.Submit, tracing.KindSubmit, tracing.ReasonQueued, j.ID, j.CPUs, s.m.Busy(), int64(j.Estimate))
 	}
+	s.dirty = true
 	s.requestPass()
 }
 
@@ -218,6 +241,7 @@ func (s *Simulator) StartDirect(j *job.Job) {
 	}
 	s.m.Start(now, j)
 	s.stats.DirectStarts++
+	s.dirty = true
 	if s.tracer != nil {
 		reason := tracing.ReasonInterstitialFill
 		if j.Class == job.Maintenance {
@@ -234,6 +258,7 @@ func (s *Simulator) scheduleFinish(j *job.Job) {
 		s.m.Finish(s.eng.Now(), j)
 		s.disp.Policy().OnFinish(s.eng.Now(), j)
 		s.finished = append(s.finished, j)
+		s.dirty = true
 		if s.tracer != nil {
 			// A maintenance occupation ending is a capacity restore (outage
 			// repaired, kill-latency blocker released), not a job finish.
@@ -260,6 +285,7 @@ func (s *Simulator) Kill(j *job.Job) {
 	delete(s.finishEvents, j.ID)
 	s.stats.Kills++
 	s.m.Release(s.eng.Now(), j)
+	s.dirty = true
 	s.requestPass()
 }
 
@@ -275,13 +301,28 @@ func (s *Simulator) requestPass() {
 	}))
 }
 
-// pass runs one scheduling pass and the after-pass hook.
+// pass runs one scheduling pass and the after-pass hook. A pass repeated
+// at the instant of the previous one with no state change in between is
+// elided: the dispatcher would see identical inputs and return an
+// identical result, and the previous identical result already drove the
+// after-pass hook and armed any timed wake-up.
 func (s *Simulator) pass() {
 	now := s.eng.Now()
+	if now == s.lastPassAt && !s.dirty {
+		s.stats.PassesElided++
+		return
+	}
+	s.lastPassAt = now
+	s.dirty = false
 	res := s.disp.Schedule(now, s.m, s.queue)
 	s.stats.Passes++
 	s.stats.Dispatched += uint64(len(res.Started))
 	s.stats.Backfilled += uint64(res.Backfilled)
+	if len(res.Started) > 0 {
+		// Dispatches charge fair-share accounts and change occupancy: a
+		// further same-instant pass request must run for real.
+		s.dirty = true
+	}
 	for _, j := range res.Started {
 		s.scheduleFinish(j)
 	}
@@ -308,9 +349,16 @@ func (s *Simulator) RequestPassAt(t sim.Time) {
 		s.requestPass()
 		return
 	}
+	if _, armed := s.extPasses[t]; armed {
+		return // an external pass is already armed at exactly t
+	}
+	s.extPasses[t] = struct{}{}
 	// Independent of the internal reservation wake-up slot (which keeps
 	// only the earliest and may be superseded): this one always fires.
-	s.eng.SchedulePrio(t, prioPass, sim.EventFunc(func(*sim.Engine) { s.pass() }))
+	s.eng.SchedulePrio(t, prioPass, sim.EventFunc(func(*sim.Engine) {
+		delete(s.extPasses, t)
+		s.pass()
+	}))
 }
 
 // schedulePassAt arranges a pass at time t, keeping only the earliest
@@ -341,7 +389,12 @@ func (s *Simulator) Interrupted() bool { return s.eng.Interrupted() }
 // scheduling pass still runs after. Fault injectors use this to perturb
 // the machine mid-run.
 func (s *Simulator) ScheduleAt(t sim.Time, fn func(*Simulator)) {
-	s.eng.SchedulePrio(t, prioSubmit, sim.EventFunc(func(*sim.Engine) { fn(s) }))
+	s.eng.SchedulePrio(t, prioSubmit, sim.EventFunc(func(*sim.Engine) {
+		fn(s)
+		// fn is opaque and may have perturbed anything; never let a pass
+		// at this instant be elided.
+		s.dirty = true
+	}))
 }
 
 // Run executes the simulation to completion: all submitted jobs finished

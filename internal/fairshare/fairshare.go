@@ -63,6 +63,11 @@ type Tree struct {
 	users  map[string]float64
 	groups map[string]float64
 	total  float64
+	// epoch counts Charge calls. Because Priority is a ratio of stored
+	// values (the decay factor cancels), priorities change only when a
+	// Charge lands; the epoch lets schedulers skip re-sorting a queue whose
+	// priorities provably have not moved.
+	epoch uint64
 }
 
 // DefaultHalfLife is a one-week usage decay, typical of production
@@ -120,7 +125,13 @@ func (t *Tree) Charge(now sim.Time, j *job.Job, cpuSeconds float64) {
 	t.users[j.User] = clampNonNeg(t.users[j.User] + delta)
 	t.groups[j.Group] = clampNonNeg(t.groups[j.Group] + delta)
 	t.total = clampNonNeg(t.total + delta)
+	t.epoch++
 }
+
+// Epoch reports the charge epoch: it advances exactly when a Charge may
+// have moved some priority. Between equal epochs, Priority(now, j) is
+// constant for every j regardless of now.
+func (t *Tree) Epoch() uint64 { return t.epoch }
 
 func clampNonNeg(x float64) float64 {
 	if x < 0 {

@@ -128,6 +128,11 @@ func (UserEstimate) Predict(j *job.Job) sim.Time { return j.Estimate }
 // replaced by the predictor's output the first time the scheduler sees
 // it, and every completion feeds the predictor. Interstitial jobs pass
 // through untouched (their runtimes are exact already).
+//
+// The wrapper inherits the inner policy's Ordering: that is sound because
+// the estimate rewrite happens on a job's first Prioritize, and every
+// ordering class — including static merge — prioritizes each new arrival
+// exactly once before it can be dispatched.
 type policy struct {
 	sched.Policy
 	p         Predictor

@@ -1,0 +1,13 @@
+//go:build profiledebug
+
+package profile
+
+// debugChecks enables invariant re-verification after every Reserve and
+// Release, catching arena-reuse corruption at the mutation that caused it
+// instead of at a later query. Build with
+//
+//	go test -tags profiledebug ./...
+//
+// to arm it; the default build compiles the checks away entirely so the
+// scheduling hot path pays nothing.
+const debugChecks = true

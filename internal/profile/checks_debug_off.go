@@ -1,0 +1,6 @@
+//go:build !profiledebug
+
+package profile
+
+// debugChecks is off in normal builds; see checks_debug.go.
+const debugChecks = false

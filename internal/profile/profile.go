@@ -14,7 +14,7 @@ package profile
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"interstitial/internal/job"
 	"interstitial/internal/sim"
@@ -22,11 +22,34 @@ import (
 
 // Profile is a stepwise function mapping time to free CPUs. The last
 // segment extends to infinity.
+//
+// A Profile is reusable: Reset and RebuildFromRunning overwrite the
+// timeline in place, keeping the backing arrays, so a scheduler that
+// rebuilds its planning profile on every pass (the dispatcher's scratch
+// profile, the interstitial controller's packing plan) allocates nothing
+// in steady state.
 type Profile struct {
 	// times[i] is the start of segment i; times[0] is the profile origin.
 	times []sim.Time
 	// free[i] is the free CPU count on [times[i], times[i+1]).
 	free []int
+	// rel is RebuildFromRunning's scratch release list, retained between
+	// rebuilds so the per-pass sort works entirely in reused memory.
+	rel []release
+	// unsorted marks a timeline whose breakpoints are not strictly
+	// increasing, on which Reserve/Release keep the historical whole-array
+	// scan (covered segments need not be contiguous there). In practice it
+	// never trips — EstimatedEnd clamps to a running job's true end, so
+	// every release lands at or after now, and FromSteps validates its
+	// input — but the O(1) check keeps the binary-searched fast path
+	// honest if either guarantee is ever loosened.
+	unsorted bool
+}
+
+// release is one running job giving its CPUs back at its estimated end.
+type release struct {
+	at   sim.Time
+	cpus int
 }
 
 // FromSteps builds a profile directly from parallel breakpoint/capacity
@@ -57,18 +80,46 @@ func NewConstant(from sim.Time, capacity int) *Profile {
 // information a real scheduler has, because users' estimates stand in for
 // true runtimes.
 func FromRunning(now sim.Time, totalCPUs int, running []*job.Job) *Profile {
-	type release struct {
-		at   sim.Time
-		cpus int
+	p := &Profile{}
+	p.RebuildFromRunning(now, totalCPUs, running)
+	return p
+}
+
+// Reset makes p the constant profile (from, capacity), reusing its backing
+// storage. It is the arena counterpart of NewConstant.
+func (p *Profile) Reset(from sim.Time, capacity int) {
+	if capacity < 0 {
+		panic("profile: negative capacity")
 	}
-	rel := make([]release, 0, len(running))
+	p.times = append(p.times[:0], from)
+	p.free = append(p.free[:0], capacity)
+	p.unsorted = false
+}
+
+// RebuildFromRunning is FromRunning into existing storage: it overwrites p
+// with the free-CPU timeline at time now, reusing the segment arrays and
+// the internal release scratch so a steady-state rebuild allocates nothing.
+// The result is identical to FromRunning's (release ties merge into one
+// segment, so their sort order does not matter).
+func (p *Profile) RebuildFromRunning(now sim.Time, totalCPUs int, running []*job.Job) {
+	rel := p.rel[:0]
 	used := 0
 	for _, j := range running {
 		used += j.CPUs
 		rel = append(rel, release{at: j.EstimatedEnd(), cpus: j.CPUs})
 	}
-	sort.Slice(rel, func(i, k int) bool { return rel[i].at < rel[k].at })
-	p := &Profile{times: []sim.Time{now}, free: []int{totalCPUs - used}}
+	slices.SortFunc(rel, func(a, b release) int {
+		switch {
+		case a.at < b.at:
+			return -1
+		case a.at > b.at:
+			return 1
+		}
+		return 0
+	})
+	p.rel = rel
+	p.times = append(p.times[:0], now)
+	p.free = append(p.free[:0], totalCPUs-used)
 	cur := totalCPUs - used
 	for _, r := range rel {
 		cur += r.cpus
@@ -80,12 +131,15 @@ func FromRunning(now sim.Time, totalCPUs int, running []*job.Job) *Profile {
 			p.free = append(p.free, cur)
 		}
 	}
-	return p
+	// Releases are ascending, so the only possible inversion is a release
+	// breakpoint before the origin.
+	p.unsorted = len(p.times) > 1 && p.times[1] < p.times[0]
 }
 
-// Clone returns an independent copy.
+// Clone returns an independent copy (the rebuild scratch is not carried
+// over; the clone grows its own on first reuse).
 func (p *Profile) Clone() *Profile {
-	q := &Profile{times: make([]sim.Time, len(p.times)), free: make([]int, len(p.free))}
+	q := &Profile{times: make([]sim.Time, len(p.times)), free: make([]int, len(p.free)), unsorted: p.unsorted}
 	copy(q.times, p.times)
 	copy(q.free, p.free)
 	return q
@@ -98,14 +152,24 @@ func (p *Profile) Origin() sim.Time { return p.times[0] }
 func (p *Profile) Segments() int { return len(p.times) }
 
 // segIndex returns the index of the segment containing t, clamping to the
-// first segment for t before the origin.
+// first segment for t before the origin. The search is a hand-rolled
+// lower bound (find the last i with times[i] <= t), identical in result to
+// sort.Search but without the per-call closure, since this sits under
+// every planning query the backfill loops make.
 func (p *Profile) segIndex(t sim.Time) int {
-	// Find the last i with times[i] <= t.
-	i := sort.Search(len(p.times), func(k int) bool { return p.times[k] > t }) - 1
-	if i < 0 {
-		i = 0
+	lo, hi := 0, len(p.times)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.times[mid] > t {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
 	}
-	return i
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
 }
 
 // FreeAt reports the free CPUs at time t.
@@ -167,6 +231,19 @@ func (p *Profile) EarliestFit(after sim.Time, cpus int, duration sim.Time) (sim.
 	return 0, false
 }
 
+// rangeStart returns the first segment index with times[i] >= from, on a
+// sorted timeline: the binary-searched entry point for Reserve/Release so
+// an adjustment touches only the segments it covers instead of scanning
+// the whole array. Callers have already split at from, so when from is
+// past the origin an exact breakpoint exists.
+func (p *Profile) rangeStart(from sim.Time) int {
+	i := p.segIndex(from)
+	if p.times[i] < from {
+		return i + 1
+	}
+	return i
+}
+
 // Reserve subtracts cpus processors over [from, from+duration). It panics
 // if the reservation would drive any segment negative, because callers must
 // check EarliestFit/MinFree first.
@@ -176,14 +253,27 @@ func (p *Profile) Reserve(from sim.Time, cpus int, duration sim.Time) {
 	}
 	p.split(from)
 	p.split(from + duration)
-	for i := range p.times {
-		if p.times[i] >= from && p.times[i] < from+duration {
-			p.free[i] -= cpus
-			if p.free[i] < 0 {
-				panic(fmt.Sprintf("profile: reservation of %d CPUs at [%d,%d) drives segment %d negative", cpus, from, from+duration, i))
+	if p.unsorted {
+		// Historical whole-array scan: on a timeline with out-of-order
+		// breakpoints the covered segments are not contiguous.
+		for i := range p.times {
+			if p.times[i] >= from && p.times[i] < from+duration {
+				p.free[i] -= cpus
+				if p.free[i] < 0 {
+					panic(fmt.Sprintf("profile: reservation of %d CPUs at [%d,%d) drives segment %d negative", cpus, from, from+duration, i))
+				}
 			}
 		}
+		p.debugCheck("Reserve")
+		return
 	}
+	for i := p.rangeStart(from); i < len(p.times) && p.times[i] < from+duration; i++ {
+		p.free[i] -= cpus
+		if p.free[i] < 0 {
+			panic(fmt.Sprintf("profile: reservation of %d CPUs at [%d,%d) drives segment %d negative", cpus, from, from+duration, i))
+		}
+	}
+	p.debugCheck("Reserve")
 }
 
 // Release adds cpus processors over [from, from+duration); the inverse of
@@ -194,10 +284,31 @@ func (p *Profile) Release(from sim.Time, cpus int, duration sim.Time) {
 	}
 	p.split(from)
 	p.split(from + duration)
-	for i := range p.times {
-		if p.times[i] >= from && p.times[i] < from+duration {
-			p.free[i] += cpus
+	if p.unsorted {
+		for i := range p.times {
+			if p.times[i] >= from && p.times[i] < from+duration {
+				p.free[i] += cpus
+			}
 		}
+		p.debugCheck("Release")
+		return
+	}
+	for i := p.rangeStart(from); i < len(p.times) && p.times[i] < from+duration; i++ {
+		p.free[i] += cpus
+	}
+	p.debugCheck("Release")
+}
+
+// debugCheck re-verifies the invariants after a mutation when the
+// profiledebug build tag is set (see checks_debug.go); in normal builds it
+// compiles to nothing. It deliberately skips unsorted timelines, whose
+// breakpoints violate the ordering invariant by construction.
+func (p *Profile) debugCheck(op string) {
+	if !debugChecks || p.unsorted {
+		return
+	}
+	if err := p.CheckInvariants(); err != nil {
+		panic(fmt.Sprintf("profile: %s corrupted the timeline: %v", op, err))
 	}
 }
 

@@ -15,6 +15,18 @@ import (
 type Dispatcher struct {
 	policy Policy
 	tracer *tracing.Tracer
+
+	// plan is the arena for the per-pass free-CPU profile: rebuilt in place
+	// at the top of every Schedule so steady-state passes allocate nothing.
+	// The PassResult.Plan returned by Schedule aliases it and is therefore
+	// valid only until the next Schedule call on this dispatcher — which
+	// covers its one consumer, the controller's same-pass AfterPass hook.
+	plan profile.Profile
+
+	// orderEpoch/orderValid cache the policy epoch the queue's standing
+	// order was computed under (OrderingEpoch policies only).
+	orderEpoch uint64
+	orderValid bool
 }
 
 // NewDispatcher wraps a policy.
@@ -94,17 +106,50 @@ func (d *Dispatcher) traceStart(now sim.Time, m *machine.Machine, j *job.Job, ki
 	}
 }
 
+// order brings the queue into dispatch order, doing only the work the
+// policy's Ordering class requires. The dispatch key is a total order, so
+// the incremental paths (prioritize arrivals + merge) produce the exact
+// sequence a full reprioritize + sort would — they just skip re-deriving
+// priorities that provably have not moved.
+func (d *Dispatcher) order(now sim.Time, q *Queue) {
+	switch d.policy.Ordering() {
+	case OrderingStatic:
+		for _, j := range q.Unordered() {
+			d.policy.Prioritize(now, j)
+		}
+		q.MergeUnordered()
+	case OrderingEpoch:
+		epoch := d.policy.OrderEpoch()
+		if d.orderValid && epoch == d.orderEpoch {
+			for _, j := range q.Unordered() {
+				d.policy.Prioritize(now, j)
+			}
+			q.MergeUnordered()
+			return
+		}
+		for _, j := range q.Jobs() {
+			d.policy.Prioritize(now, j)
+		}
+		q.Sort()
+		d.orderEpoch = epoch
+		d.orderValid = true
+	default: // OrderingDynamic: re-derive everything, every pass.
+		for _, j := range q.Jobs() {
+			d.policy.Prioritize(now, j)
+		}
+		q.Sort()
+	}
+}
+
 // Schedule runs one pass at time now and returns what happened. It starts
 // native jobs only; interstitial jobs are dispatched by their controller
 // against the returned Plan.
 func (d *Dispatcher) Schedule(now sim.Time, m *machine.Machine, q *Queue) PassResult {
-	for _, j := range q.Jobs() {
-		d.policy.Prioritize(now, j)
-	}
-	q.Sort()
+	d.order(now, q)
 
-	// Borrowed slice: FromRunning only reads it, within this pass.
-	p := profile.FromRunning(now, m.Config().CPUs, m.RunningBorrow())
+	// Borrowed slice: RebuildFromRunning only reads it, within this pass.
+	p := &d.plan
+	p.RebuildFromRunning(now, m.Config().CPUs, m.RunningBorrow())
 	res := PassResult{HeadReservation: sim.Infinity}
 
 	switch d.policy.Backfill() {

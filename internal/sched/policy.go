@@ -43,14 +43,58 @@ func (k BackfillKind) String() string {
 	return "backfill?"
 }
 
+// Ordering declares how a policy's priorities move over time, which is
+// what decides how much queue-ordering work a scheduling pass can skip.
+type Ordering uint8
+
+const (
+	// OrderingDynamic priorities depend on the current time (e.g. queue
+	// age): every pass must re-prioritize and re-sort the whole queue.
+	// It is the zero value, so it is the safe default for any policy that
+	// does not declare otherwise.
+	OrderingDynamic Ordering = iota
+	// OrderingEpoch priorities are time-invariant between epochs declared
+	// by OrderEpoch: while the epoch holds, only new arrivals need
+	// prioritizing, merged into the standing order.
+	OrderingEpoch
+	// OrderingStatic priorities never change after assignment: new
+	// arrivals are prioritized once and merged; the queue is never
+	// re-sorted.
+	OrderingStatic
+)
+
+// String names the ordering class.
+func (o Ordering) String() string {
+	switch o {
+	case OrderingDynamic:
+		return "dynamic"
+	case OrderingEpoch:
+		return "epoch"
+	case OrderingStatic:
+		return "static"
+	}
+	return "ordering?"
+}
+
 // Policy captures everything machine-specific about a queueing system.
 type Policy interface {
 	// Name identifies the policy in reports ("PBS", "LSF", "DPCS").
 	Name() string
 	// Backfill reports the backfill flavor.
 	Backfill() BackfillKind
-	// Prioritize assigns j.Priority at time now. Called for every queued
-	// job on every scheduling pass (dynamic reprioritization).
+	// Ordering declares how this policy's priorities move over time; the
+	// dispatcher uses it to elide per-pass reprioritization and sorting.
+	// A policy claiming anything stronger than OrderingDynamic promises
+	// that Prioritize(now, j) is independent of now (except inside an
+	// epoch change for OrderingEpoch).
+	Ordering() Ordering
+	// OrderEpoch reports the current priority epoch for OrderingEpoch
+	// policies: as long as the value holds, no queued job's priority has
+	// changed. Other orderings may return anything.
+	OrderEpoch() uint64
+	// Prioritize assigns j.Priority at time now. Called at least once for
+	// every queued job before it is ordered; dynamic policies see it again
+	// on every scheduling pass.
 	Prioritize(now sim.Time, j *job.Job)
 	// EarliestAllowed reports the earliest instant >= at when policy
 	// rules (e.g. time-of-day windows) permit j to start. Policies
@@ -70,6 +114,19 @@ type fairSharePolicy struct {
 
 func (p *fairSharePolicy) Name() string           { return p.name }
 func (p *fairSharePolicy) Backfill() BackfillKind { return p.backfill }
+
+// Ordering: flat trees always score 0 (priority is pure submit order, so
+// ordering is static); sharing trees move priorities only when a Charge
+// lands, which the tree's epoch tracks. The decay factor cancels in
+// Priority's usage ratios, so `now` never enters the score.
+func (p *fairSharePolicy) Ordering() Ordering {
+	if p.tree.Level() == fairshare.Flat {
+		return OrderingStatic
+	}
+	return OrderingEpoch
+}
+
+func (p *fairSharePolicy) OrderEpoch() uint64 { return p.tree.Epoch() }
 
 func (p *fairSharePolicy) Prioritize(now sim.Time, j *job.Job) {
 	if j.Class == job.Maintenance {
@@ -133,6 +190,10 @@ func NewMultifactor() Policy {
 		fsWeight:        1.0,
 	}
 }
+
+// Ordering: the age term makes priorities a function of the current time,
+// so every pass must re-prioritize.
+func (p *multifactorPolicy) Ordering() Ordering { return OrderingDynamic }
 
 // Prioritize combines the factors. Maintenance drains still outrank all.
 func (p *multifactorPolicy) Prioritize(now sim.Time, j *job.Job) {

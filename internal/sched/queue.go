@@ -1,16 +1,25 @@
 package sched
 
 import (
+	"slices"
 	"sort"
 
 	"interstitial/internal/job"
 )
 
 // Queue holds waiting jobs in dispatch order. Order is (priority
-// descending, submit time ascending, ID ascending); Sort must be called
-// after priorities change.
+// descending, submit time ascending, ID ascending) — a total order, since
+// IDs are unique — so any ordering step that respects the key triple
+// produces the same sequence.
+//
+// The queue tracks an ordered prefix: jobs[:ordered] are in dispatch
+// order, jobs[ordered:] are arrivals appended since. The dispatcher either
+// merges the arrivals into the prefix (MergeUnordered — priorities already
+// assigned, the incremental path) or re-sorts everything (Sort — after a
+// reprioritization).
 type Queue struct {
-	jobs []*job.Job
+	jobs    []*job.Job
+	ordered int
 }
 
 // NewQueue returns an empty queue.
@@ -19,7 +28,8 @@ func NewQueue() *Queue { return &Queue{} }
 // Len reports the number of queued jobs.
 func (q *Queue) Len() int { return len(q.jobs) }
 
-// Push appends j to the queue and marks it Queued.
+// Push appends j to the queue and marks it Queued. The job joins the
+// unordered tail; an ordering step places it before the next dispatch.
 func (q *Queue) Push(j *job.Job) {
 	j.State = job.Queued
 	q.jobs = append(q.jobs, j)
@@ -36,10 +46,18 @@ func (q *Queue) Head() *job.Job {
 // At returns the i-th job in dispatch order.
 func (q *Queue) At(i int) *job.Job { return q.jobs[i] }
 
-// Remove deletes the job at index i, preserving order.
+// Remove deletes the job at index i, preserving order. The vacated tail
+// slot is cleared so a dispatched job is not kept reachable from the
+// queue's backing array for the rest of the run.
 func (q *Queue) Remove(i int) *job.Job {
 	j := q.jobs[i]
-	q.jobs = append(q.jobs[:i], q.jobs[i+1:]...)
+	last := len(q.jobs) - 1
+	copy(q.jobs[i:], q.jobs[i+1:])
+	q.jobs[last] = nil
+	q.jobs = q.jobs[:last]
+	if i < q.ordered {
+		q.ordered--
+	}
 	return j
 }
 
@@ -47,17 +65,50 @@ func (q *Queue) Remove(i int) *job.Job {
 // mutate it.
 func (q *Queue) Jobs() []*job.Job { return q.jobs }
 
-// Sort orders the queue by (priority desc, submit asc, ID asc). The sort
-// is stable on the explicit key triple, so results are deterministic.
+// Unordered exposes the arrivals appended since the last ordering step;
+// callers assign their priorities before MergeUnordered.
+func (q *Queue) Unordered() []*job.Job { return q.jobs[q.ordered:] }
+
+// dispatchBefore reports whether a precedes b in dispatch order:
+// (priority desc, submit asc, ID asc).
+func dispatchBefore(a, b *job.Job) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if a.Submit != b.Submit {
+		return a.Submit < b.Submit
+	}
+	return a.ID < b.ID
+}
+
+// Sort orders the whole queue by the dispatch key. The key triple is a
+// total order (IDs are unique), so the result is deterministic without
+// needing a stable sort.
 func (q *Queue) Sort() {
-	sort.SliceStable(q.jobs, func(a, b int) bool {
-		ja, jb := q.jobs[a], q.jobs[b]
-		if ja.Priority != jb.Priority {
-			return ja.Priority > jb.Priority
+	slices.SortFunc(q.jobs, func(a, b *job.Job) int {
+		if dispatchBefore(a, b) {
+			return -1
 		}
-		if ja.Submit != jb.Submit {
-			return ja.Submit < jb.Submit
+		if dispatchBefore(b, a) {
+			return 1
 		}
-		return ja.ID < jb.ID
+		return 0
 	})
+	q.ordered = len(q.jobs)
+}
+
+// MergeUnordered inserts each unordered arrival into its dispatch-order
+// position within the ordered prefix (binary search + shift). With k
+// arrivals against an n-job queue this costs O(k·(log n + n)) moves
+// instead of the O(n log n) compare-and-swap of a full re-sort, and
+// because the key triple is total it lands the exact sequence Sort would.
+// Arrivals must have their priorities assigned already.
+func (q *Queue) MergeUnordered() {
+	for q.ordered < len(q.jobs) {
+		j := q.jobs[q.ordered]
+		i := sort.Search(q.ordered, func(k int) bool { return dispatchBefore(j, q.jobs[k]) })
+		copy(q.jobs[i+1:q.ordered+1], q.jobs[i:q.ordered])
+		q.jobs[i] = j
+		q.ordered++
+	}
 }
