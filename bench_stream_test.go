@@ -1,0 +1,122 @@
+package interstitial_test
+
+import (
+	"testing"
+
+	"interstitial/internal/core"
+	"interstitial/internal/engine"
+	"interstitial/internal/job"
+	"interstitial/internal/sched"
+	"interstitial/internal/sim"
+	"interstitial/internal/workload"
+)
+
+// BenchmarkMillionJobStream is the streaming pipeline's headline number:
+// a ~1M-native-job Blue Mountain continual run (log grown 128x in days
+// AND jobs, preserving the paper's jobs-per-day density — growing job
+// density instead inflates the queue length and the per-pass scheduling
+// cost superlinearly) fed through the O(1)-memory stream, retired into a
+// counting hook, with a record-discarding interstitial controller. The
+// filler spec is deliberately chunky (1024 CPUs x 1h): tiny filler at
+// this horizon means tens of millions of interstitial dispatches and the
+// benchmark measures the controller, not the pipeline. The watched
+// figures are jobs/sec (natives simulated per wallclock second) and
+// allocs/op — a resident []*job.Job would show up immediately in the
+// latter.
+func BenchmarkMillionJobStream(b *testing.B) {
+	p := workload.BlueMountain()
+	p.Days *= 128
+	p.Jobs *= 128 // ~1M jobs over ~29 simulated years, paper density
+	horizon := p.Duration()
+	spec := core.JobSpec{CPUs: 1024, Runtime: 3600}
+
+	b.ReportAllocs()
+	var natives int64
+	for i := 0; i < b.N; i++ {
+		st, err := workload.NewStream(p, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sm := engine.New(p.Machine, sched.NewLSF())
+		n := int64(0)
+		var waitSec float64
+		sm.SetRetire(func(j *job.Job) {
+			if j.Class == job.Native {
+				n++
+				waitSec += float64(j.Start - j.Submit)
+			}
+		})
+		ctrl := core.NewController(spec)
+		ctrl.StopAt = horizon
+		ctrl.DiscardRecords = true
+		if err := ctrl.Attach(sm); err != nil {
+			b.Fatal(err)
+		}
+		sm.SubmitStream(st, 4096)
+		sm.Run()
+		if n != int64(st.Total()) {
+			b.Fatalf("retired %d natives, streamed %d", n, st.Total())
+		}
+		natives = n
+	}
+	b.ReportMetric(float64(natives)/1000, "kjobs/run")
+	b.ReportMetric(float64(natives)*float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+}
+
+// BenchmarkStreamGenerate isolates the workload generator: jobs drawn and
+// discarded straight off the stream, no simulation. allocs/op is ~2 per
+// job (the job and its struct fields), never O(total) slices.
+func BenchmarkStreamGenerate(b *testing.B) {
+	p := workload.BlueMountain()
+	p.Days *= 16
+	p.Jobs *= 128
+	b.ReportAllocs()
+	var total int
+	for i := 0; i < b.N; i++ {
+		st, err := workload.NewStream(p, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		var area float64
+		for {
+			j, ok := st.Next()
+			if !ok {
+				break
+			}
+			area += float64(j.CPUs) * float64(j.Runtime)
+			n++
+		}
+		if area <= 0 {
+			b.Fatal("empty stream")
+		}
+		total = n
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+}
+
+// BenchmarkCheckpointRoundTrip measures the snapshot cost a resumable
+// week-long run pays at each checkpoint: quiesce is free (RunUntil), so
+// this is Checkpoint + Restore on a mid-run simulator.
+func BenchmarkCheckpointRoundTrip(b *testing.B) {
+	p := workload.BlueMountain()
+	st, err := workload.NewStream(p, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sm := engine.New(p.Machine, sched.NewLSF())
+	sm.SetRetire(func(*job.Job) {})
+	sm.SubmitStream(st, 4096)
+	sm.RunUntil(sim.Time(p.Days * 86400 / 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp, err := sm.Checkpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.Restore(p.Machine, sched.NewLSF(), cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,6 +6,12 @@
 //
 //	loganalyze -trace log.swf [-cpus 4662]
 //	loganalyze -machine "Blue Mountain" [-seed 1] [-scale 0.25]   # synthetic
+//
+// Synthetic logs are streamed through one-pass estimators, so -scale may
+// grow the log far past paper size (-scale 5 on Blue Mountain is ~1M
+// jobs) without materializing it; the two distribution medians are then
+// P² estimates (within a few percent). -fit needs the whole log in
+// memory and switches the synthetic path back to batch generation.
 package main
 
 import (
@@ -33,6 +39,7 @@ func main() {
 	flag.Parse()
 
 	var jobs []*interstitial.Job
+	var c stats.Characterization
 	n := *cpus
 	switch {
 	case *tracePath != "":
@@ -51,26 +58,46 @@ func main() {
 		if n == 0 {
 			n = h.MaxProcs
 		}
+		c = stats.Characterize(jobs, n)
 		fmt.Printf("Trace %s (%s):\n", *tracePath, h.Computer)
 	case *machineName != "":
 		m, err := interstitial.MachineByName(*machineName)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if *scale > 0 && *scale < 1 {
+		if *scale > 0 && *scale != 1 {
 			m.Workload.Days *= *scale
 			m.Workload.Jobs = int(float64(m.Workload.Jobs) * *scale)
 		}
-		jobs = workload.MustGenerate(m.Workload, *seed)
 		if n == 0 {
 			n = m.Workload.Machine.CPUs
+		}
+		if *fit {
+			// Fitting needs the whole log resident; generate in batch.
+			jobs = workload.MustGenerate(m.Workload, *seed)
+			c = stats.Characterize(jobs, n)
+		} else {
+			// Stream the log through the one-pass characterizer: memory
+			// stays O(1) in the job count at any -scale.
+			st, err := workload.NewStream(m.Workload, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sc := stats.NewStreamCharacterizer(n)
+			for {
+				j, ok := st.Next()
+				if !ok {
+					break
+				}
+				sc.Add(j)
+			}
+			c = sc.Characterization()
 		}
 		fmt.Printf("Synthetic %s log (seed %d, scale %g):\n", m.Name, *seed, *scale)
 	default:
 		log.Fatal("need -trace or -machine")
 	}
 
-	c := stats.Characterize(jobs, n)
 	if err := c.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}

@@ -41,8 +41,15 @@ type Controller struct {
 	// Exists to quantify what the guard buys; never use in production.
 	IgnorePlan bool
 
+	// DiscardRecords, when set, stops the controller from accumulating
+	// submitted jobs on Jobs — the O(total jobs) retention a streamed
+	// continual run cannot afford. Consumers read the records from the
+	// engine's retire hook instead. Makespan is unavailable in this mode.
+	DiscardRecords bool
+
 	// Jobs collects every interstitial job submitted, in start order,
-	// including continuation jobs resubmitted after a preemption kill.
+	// including continuation jobs resubmitted after a preemption kill
+	// (empty when DiscardRecords is set).
 	Jobs []*job.Job
 	// KilledJobs counts preemption kills; WastedCPUSeconds is the
 	// un-checkpointed work those kills discarded.
@@ -95,11 +102,63 @@ func (c *Controller) Attach(s *engine.Simulator) error {
 	}
 	s.AfterPass = func(sm *engine.Simulator, res sched.PassResult) { c.afterPass(sm, res) }
 	// Wake the scheduler when the submission window opens, in case no
-	// native event falls inside it.
-	if c.StartAt > 0 {
+	// native event falls inside it. A window that already opened needs no
+	// wake-up (and must not force an extra pass when attaching a restored
+	// controller to a restored simulator mid-run).
+	if c.StartAt > 0 && c.StartAt > s.Now() {
 		s.RequestPassAt(c.StartAt)
 	}
 	return nil
+}
+
+// WorkUnit is a preempted remainder awaiting resubmission, exported for
+// checkpointing: run seconds of useful work plus the restart overhead
+// its continuation job will pay up front.
+type WorkUnit struct {
+	Run      sim.Time `json:"run"`
+	Overhead sim.Time `json:"overhead"`
+}
+
+// State is the controller's serializable mutable state. The
+// configuration fields (Spec, Limit, window, caps) are not included:
+// a restored controller is built with the same configuration and then
+// handed the snapshot.
+type State struct {
+	Created          int        `json:"created"`
+	NextID           int        `json:"nextID"`
+	BlockID          int        `json:"blockID"`
+	KilledJobs       int        `json:"killedJobs"`
+	WastedCPUSeconds float64    `json:"wastedCPUSeconds"`
+	Backlog          []WorkUnit `json:"backlog,omitempty"`
+}
+
+// State snapshots the controller's mutable state.
+func (c *Controller) State() State {
+	st := State{
+		Created:          c.created,
+		NextID:           c.nextID,
+		BlockID:          c.blockID,
+		KilledJobs:       c.KilledJobs,
+		WastedCPUSeconds: c.WastedCPUSeconds,
+	}
+	for _, w := range c.backlog {
+		st.Backlog = append(st.Backlog, WorkUnit{Run: w.run, Overhead: w.overhead})
+	}
+	return st
+}
+
+// SetState restores a snapshot taken with State. Call before Attach on
+// a controller configured identically to the snapshot one.
+func (c *Controller) SetState(st State) {
+	c.created = st.Created
+	c.nextID = st.NextID
+	c.blockID = st.BlockID
+	c.KilledJobs = st.KilledJobs
+	c.WastedCPUSeconds = st.WastedCPUSeconds
+	c.backlog = c.backlog[:0]
+	for _, w := range st.Backlog {
+		c.backlog = append(c.backlog, pendingWork{run: w.Run, overhead: w.Overhead})
+	}
 }
 
 // Remaining reports how many fresh jobs the controller may still submit;
@@ -185,7 +244,9 @@ func (c *Controller) admit(s *engine.Simulator, res sched.PassResult, w pendingW
 	if !c.IgnorePlan && res.Plan != nil {
 		res.Plan.Reserve(now, c.Spec.CPUs, runtime)
 	}
-	c.Jobs = append(c.Jobs, j)
+	if !c.DiscardRecords {
+		c.Jobs = append(c.Jobs, j)
+	}
 	return true
 }
 

@@ -39,8 +39,24 @@ type Simulator struct {
 	AfterPass func(s *Simulator, res sched.PassResult)
 
 	finished []*job.Job
+	// retire, when set, receives completed job records instead of the
+	// finished slice — the streaming pipeline's O(active jobs) path.
+	retire func(*job.Job)
 
-	finishEvents map[int]sim.Handle // running job ID -> finish event
+	finishEvents map[int]finishRec // running job ID -> finish event
+	// stampGen orders finish-event creation. Checkpoint/restore must
+	// reschedule same-instant completions in their original scheduling
+	// order: fair-share accounting sums floats in completion-event
+	// order, so any other order changes low bits downstream.
+	stampGen uint64
+
+	// source, when set, refills pending lazily: at most sourceBuf jobs
+	// are materialized ahead of the clock. sourcePulled counts jobs
+	// consumed from it (for checkpointing: a fresh stream Skip()s that
+	// many to resume).
+	source       JobSource
+	sourceBuf    int
+	sourcePulled int64
 
 	// pending holds submitted-but-not-yet-arrived jobs sorted by Submit
 	// time (stable in submission order). A single injector event walks it,
@@ -75,6 +91,20 @@ type Simulator struct {
 	tracer *tracing.Tracer
 
 	stats Stats
+}
+
+// finishRec is a running job's armed finish event plus its scheduling
+// stamp (see stampGen).
+type finishRec struct {
+	h     sim.Handle
+	stamp uint64
+}
+
+// JobSource yields jobs in nondecreasing Submit order, one at a time.
+// workload.Stream satisfies it; any generator with the same ordering
+// contract works.
+type JobSource interface {
+	Next() (*job.Job, bool)
 }
 
 // SetTracer installs the decision tracer on the simulator, its dispatcher,
@@ -121,7 +151,7 @@ func New(cfg machine.Config, pol sched.Policy) *Simulator {
 		m:            machine.New(cfg),
 		disp:         sched.NewDispatcher(pol),
 		queue:        sched.NewQueue(),
-		finishEvents: make(map[int]sim.Handle),
+		finishEvents: make(map[int]finishRec),
 		injectAt:     sim.Infinity,
 		timedPassAt:  sim.Infinity,
 		lastPassAt:   -1,
@@ -142,8 +172,16 @@ func (s *Simulator) Queue() *sched.Queue { return s.queue }
 func (s *Simulator) Now() sim.Time { return s.eng.Now() }
 
 // Finished returns every job (native and interstitial) that completed, in
-// completion order.
+// completion order. With a retire hook installed (SetRetire) records go
+// to the hook instead and Finished stays empty.
 func (s *Simulator) Finished() []*job.Job { return s.finished }
+
+// SetRetire diverts completed job records to fn instead of accumulating
+// them on Finished, so a streamed run's live heap stays proportional to
+// the active job count. fn runs inside the finish event, in completion
+// order — exactly the order Finished would have recorded. Install it
+// before running.
+func (s *Simulator) SetRetire(fn func(*job.Job)) { s.retire = fn }
 
 // Stats reports the simulator's counters so far, including the kernel's.
 func (s *Simulator) Stats() Stats {
@@ -177,6 +215,51 @@ func (s *Simulator) Submit(jobs ...*job.Job) {
 	s.scheduleInject()
 }
 
+// SubmitStream attaches a job source the simulator pulls from lazily:
+// at most buffer jobs sit materialized ahead of the clock (buffer <= 0
+// selects a default), so a million-job log costs O(buffer) live records
+// instead of O(N). The source must yield jobs in nondecreasing Submit
+// order, none in the past. The simulation is bit-identical to
+// Submit(all...): jobs join the queue at the same instants in the same
+// order, only their materialization is deferred.
+func (s *Simulator) SubmitStream(src JobSource, buffer int) {
+	if s.source != nil {
+		panic("engine: SubmitStream: a source is already attached")
+	}
+	if buffer <= 0 {
+		buffer = 4096
+	}
+	s.source = src
+	s.sourceBuf = buffer
+	s.fillFromSource()
+	s.scheduleInject()
+}
+
+// fillFromSource tops the pending buffer up from the attached source,
+// enforcing the source's ordering contract.
+func (s *Simulator) fillFromSource() {
+	if s.source == nil {
+		return
+	}
+	now := s.eng.Now()
+	for len(s.pending) < s.sourceBuf {
+		j, ok := s.source.Next()
+		if !ok {
+			s.source = nil
+			return
+		}
+		if j.Submit < now {
+			panic(fmt.Sprintf("engine: streamed job %d submitted at %d, before now %d", j.ID, j.Submit, now))
+		}
+		if n := len(s.pending); n > 0 && j.Submit < s.pending[n-1].Submit {
+			panic(fmt.Sprintf("engine: streamed job %d out of submit order", j.ID))
+		}
+		s.stats.Submitted++
+		s.sourcePulled++
+		s.pending = append(s.pending, j)
+	}
+}
+
 // scheduleInject (re)arms the injector for the earliest pending submission.
 func (s *Simulator) scheduleInject() {
 	if len(s.pending) == 0 {
@@ -196,22 +279,31 @@ func (s *Simulator) scheduleInject() {
 
 // injectPending moves every pending job whose time has come onto the
 // native queue, requests the coalesced pass, and re-arms the injector.
+// With a stream source attached it alternates draining and refilling
+// until the buffer's head is in the future (or the source runs dry), so
+// bursts larger than the buffer still arrive at the right instant.
 func (s *Simulator) injectPending() {
 	now := s.eng.Now()
-	i := 0
-	for i < len(s.pending) && s.pending[i].Submit <= now {
-		j := s.pending[i]
-		s.queue.Push(j)
-		if s.tracer != nil {
-			s.tracer.Emit(now, tracing.KindSubmit, tracing.ReasonQueued, j.ID, j.CPUs, s.m.Busy(), int64(j.Estimate))
+	for {
+		i := 0
+		for i < len(s.pending) && s.pending[i].Submit <= now {
+			j := s.pending[i]
+			s.queue.Push(j)
+			if s.tracer != nil {
+				s.tracer.Emit(now, tracing.KindSubmit, tracing.ReasonQueued, j.ID, j.CPUs, s.m.Busy(), int64(j.Estimate))
+			}
+			s.pending[i] = nil
+			i++
 		}
-		s.pending[i] = nil
-		i++
-	}
-	if i > 0 {
-		s.pending = s.pending[i:]
-		s.dirty = true
-		s.requestPass()
+		if i > 0 {
+			s.pending = s.pending[i:]
+			s.dirty = true
+			s.requestPass()
+		}
+		s.fillFromSource()
+		if len(s.pending) == 0 || s.pending[0].Submit > now {
+			break
+		}
 	}
 	s.injectAt = sim.Infinity
 	s.scheduleInject()
@@ -253,11 +345,16 @@ func (s *Simulator) StartDirect(j *job.Job) {
 }
 
 func (s *Simulator) scheduleFinish(j *job.Job) {
-	s.finishEvents[j.ID] = s.eng.SchedulePrio(j.Start+j.Runtime, prioFinish, sim.EventFunc(func(*sim.Engine) {
+	s.stampGen++
+	s.finishEvents[j.ID] = finishRec{stamp: s.stampGen, h: s.eng.SchedulePrio(j.Start+j.Runtime, prioFinish, sim.EventFunc(func(*sim.Engine) {
 		delete(s.finishEvents, j.ID)
 		s.m.Finish(s.eng.Now(), j)
 		s.disp.Policy().OnFinish(s.eng.Now(), j)
-		s.finished = append(s.finished, j)
+		if s.retire != nil {
+			s.retire(j)
+		} else {
+			s.finished = append(s.finished, j)
+		}
 		s.dirty = true
 		if s.tracer != nil {
 			// A maintenance occupation ending is a capacity restore (outage
@@ -269,7 +366,7 @@ func (s *Simulator) scheduleFinish(j *job.Job) {
 			s.tracer.Emit(s.eng.Now(), kind, reason, j.ID, j.CPUs, s.m.Busy(), int64(j.Runtime))
 		}
 		s.requestPass()
-	}))
+	}))}
 }
 
 // Kill aborts a running job at the current instant: its finish event is
@@ -277,11 +374,11 @@ func (s *Simulator) scheduleFinish(j *job.Job) {
 // state with no Finish time. Used by preemptive interstitial controllers;
 // killing a job that is not running panics.
 func (s *Simulator) Kill(j *job.Job) {
-	h, ok := s.finishEvents[j.ID]
+	rec, ok := s.finishEvents[j.ID]
 	if !ok {
 		panic(fmt.Sprintf("engine: killing job %d that has no pending finish", j.ID))
 	}
-	h.Cancel()
+	rec.h.Cancel()
 	delete(s.finishEvents, j.ID)
 	s.stats.Kills++
 	s.m.Release(s.eng.Now(), j)

@@ -32,9 +32,39 @@ func TestOptionsNormalized(t *testing.T) {
 	if o.Scale != 1 || o.Seed != 1 || o.Reps != 20 || o.Samples != 500 {
 		t.Fatalf("defaults = %+v", o)
 	}
+	// Scales above 1 grow the logs for streaming-scale runs; only
+	// nonpositive values fall back to 1.
 	o = Options{Scale: 2.5}.normalized()
+	if o.Scale != 2.5 {
+		t.Fatalf("overscale rejected: %v", o.Scale)
+	}
+	o = Options{Scale: -1}.normalized()
 	if o.Scale != 1 {
-		t.Fatalf("overscale not clamped: %v", o.Scale)
+		t.Fatalf("negative scale not defaulted: %v", o.Scale)
+	}
+}
+
+func TestScaledGrowsAboveOne(t *testing.T) {
+	o := Options{Scale: 2}.normalized()
+	base := o
+	base.Scale = 1
+	for _, name := range []string{"Ross", "Blue Mountain", "Blue Pacific"} {
+		l1 := NewLab(base)
+		l2 := NewLab(o)
+		s1, s2 := l1.System(name), l2.System(name)
+		if s2.Workload.Days != s1.Workload.Days*2 || s2.Workload.Jobs != s1.Workload.Jobs*2 {
+			t.Fatalf("%s at scale 2: days %v jobs %d, want %v / %d",
+				name, s2.Workload.Days, s2.Workload.Jobs, s1.Workload.Days*2, s1.Workload.Jobs*2)
+		}
+		// Growing must not clamp the long-job tail.
+		if s2.Workload.LongJobMaxHours != s1.Workload.LongJobMaxHours {
+			t.Fatalf("%s at scale 2 clamped LongJobMaxHours", name)
+		}
+	}
+	// Project specs never grow above paper size.
+	p := Table2Projects()[0]
+	if got := o.scaledProject(p); got != p {
+		t.Fatalf("project grew above paper size: %+v", got)
 	}
 }
 
@@ -591,6 +621,35 @@ func TestNameLists(t *testing.T) {
 			t.Fatalf("duplicate name %s", n)
 		}
 		seen[n] = true
+	}
+}
+
+func TestScaleStream(t *testing.T) {
+	l := testLab()
+	r, err := ScaleStream(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ResumedIdentical {
+		t.Fatalf("checkpoint/restore diverged: %016x vs %016x", r.UninterruptedHash, r.ResumedHash)
+	}
+	if r.InterstJobs <= 0 {
+		t.Fatal("no interstitial jobs harvested")
+	}
+	if r.OverallUtil <= r.NativeUtil || r.OverallUtil > 1 {
+		t.Fatalf("utilizations: native %.3f overall %.3f", r.NativeUtil, r.OverallUtil)
+	}
+	if r.CheckpointBytes <= 0 {
+		t.Fatal("empty checkpoint")
+	}
+	// Deterministic output: a second identical study renders identical
+	// bytes (digests included).
+	r2, err := ScaleStream(testLab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderOK(t, r) != renderOK(t, r2) {
+		t.Fatal("scale-stream output not deterministic")
 	}
 }
 

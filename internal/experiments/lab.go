@@ -34,8 +34,12 @@ import (
 type Options struct {
 	// Seed drives all randomness.
 	Seed int64
-	// Scale in (0,1] shrinks the logs (days and job count) for fast test
-	// and benchmark runs; 1.0 reproduces the paper-scale runs.
+	// Scale resizes the logs (days and job count): values in (0,1) shrink
+	// them for fast test and benchmark runs, 1.0 reproduces the
+	// paper-scale runs, and values above 1 grow them for streaming-scale
+	// stress runs (a scale-5 Blue Mountain log is ~1M jobs). Paper tables
+	// are only meaningful at 1.0; project specs never grow above paper
+	// size.
 	Scale float64
 	// Reps overrides the number of random project starts (paper: 20).
 	// Zero means the experiment default.
@@ -63,7 +67,7 @@ type Options struct {
 func DefaultOptions() Options { return Options{Seed: 1, Scale: 1} }
 
 func (o Options) normalized() Options {
-	if o.Scale <= 0 || o.Scale > 1 {
+	if o.Scale <= 0 {
 		o.Scale = 1
 	}
 	if o.Seed == 0 {
@@ -84,9 +88,10 @@ func (o Options) normalized() Options {
 	return o
 }
 
-// scaled shrinks a system's workload profile by o.Scale.
+// scaled resizes a system's workload profile by o.Scale: shrinking for
+// fast runs, growing for streaming-scale stress runs.
 func (o Options) scaled(s testbed.System) testbed.System {
-	if o.Scale >= 1 {
+	if o.Scale == 1 {
 		return s
 	}
 	s.Workload.Days *= o.Scale
@@ -96,7 +101,8 @@ func (o Options) scaled(s testbed.System) testbed.System {
 	}
 	// A weeks-scale runtime tail cannot live inside a days-scale log:
 	// clamp it so calibration can still reach the target utilization.
-	if maxH := s.Workload.Days * 24 / 3; s.Workload.LongJobMaxHours > maxH {
+	// Grown logs only get longer, so the clamp applies when shrinking.
+	if maxH := s.Workload.Days * 24 / 3; o.Scale < 1 && s.Workload.LongJobMaxHours > maxH {
 		s.Workload.LongJobMaxHours = maxH
 	}
 	return s

@@ -62,7 +62,7 @@ func ExtensionNames() []string {
 		"ablation-joblength", "ablation-jobwidth", "ablation-guard", "ablation-capsweep",
 		"ablation-preemption", "ablation-prediction", "utilization-sweep",
 		"validate-sampling", "seed-robustness", "correlations", "figure4-outages",
-		"faults-sensitivity"}
+		"faults-sensitivity", "scale-stream"}
 }
 
 // AllNames lists every runnable experiment, sorted.
@@ -189,6 +189,8 @@ func (g *Registry) runOn(l *Lab, name string) (Renderer, error) {
 		return AblationCapSweep(l), nil
 	case "faults-sensitivity":
 		return FaultsSensitivity(l), nil
+	case "scale-stream":
+		return ScaleStream(l)
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (valid: %v)", name, AllNames())
 }

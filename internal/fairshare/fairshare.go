@@ -140,6 +140,51 @@ func clampNonNeg(x float64) float64 {
 	return x
 }
 
+// State is a serializable snapshot of the tree's mutable accounting.
+// Stored values are reference-time units, exactly as held internally,
+// so a restore continues bit-identically (no decay is re-applied).
+type State struct {
+	Ref    sim.Time           `json:"ref"`
+	Users  map[string]float64 `json:"users,omitempty"`
+	Groups map[string]float64 `json:"groups,omitempty"`
+	Total  float64            `json:"total"`
+	Epoch  uint64             `json:"epoch"`
+}
+
+// State snapshots the accounting (maps are deep-copied).
+func (t *Tree) State() State {
+	st := State{
+		Ref:    t.ref,
+		Users:  make(map[string]float64, len(t.users)),
+		Groups: make(map[string]float64, len(t.groups)),
+		Total:  t.total,
+		Epoch:  t.epoch,
+	}
+	for k, v := range t.users {
+		st.Users[k] = v
+	}
+	for k, v := range t.groups {
+		st.Groups[k] = v
+	}
+	return st
+}
+
+// SetState replaces the accounting with a snapshot (maps are
+// deep-copied, so the caller's snapshot stays independent).
+func (t *Tree) SetState(st State) {
+	t.ref = st.Ref
+	t.total = st.Total
+	t.epoch = st.Epoch
+	t.users = make(map[string]float64, len(st.Users))
+	t.groups = make(map[string]float64, len(st.Groups))
+	for k, v := range st.Users {
+		t.users[k] = v
+	}
+	for k, v := range st.Groups {
+		t.groups[k] = v
+	}
+}
+
 // UserUsage reports the decayed usage of a user at time now.
 func (t *Tree) UserUsage(now sim.Time, user string) float64 {
 	return t.users[user] * t.factorAt(now)

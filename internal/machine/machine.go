@@ -237,6 +237,66 @@ func (m *Machine) CPUSeconds() (native, interstitial float64) {
 // Counts reports (started, finished) job counts.
 func (m *Machine) Counts() (started, finished int) { return m.startedJobs, m.finishedJobs }
 
+// State is the serializable part of the machine's ledger: the lazily
+// accrued busy integrals and lifetime counters. The running set itself
+// is captured separately (by the engine checkpoint, which also needs
+// the finish-event ordering), and handed back to RestoreState.
+type State struct {
+	LastUpdate    sim.Time `json:"lastUpdate"`
+	NativeCPUSec  float64  `json:"nativeCPUSec"`
+	InterstCPUSec float64  `json:"interstCPUSec"`
+	StartedJobs   int      `json:"startedJobs"`
+	FinishedJobs  int      `json:"finishedJobs"`
+	PeakBusy      int      `json:"peakBusy"`
+}
+
+// State snapshots the ledger.
+func (m *Machine) State() State {
+	return State{
+		LastUpdate:    m.lastUpdate,
+		NativeCPUSec:  m.nativeCPUSec,
+		InterstCPUSec: m.interstCPUSec,
+		StartedJobs:   m.startedJobs,
+		FinishedJobs:  m.finishedJobs,
+		PeakBusy:      m.peakBusy,
+	}
+}
+
+// RestoreState reinstates a snapshot onto a fresh machine: the ledger is
+// set and the given jobs — which must be in the Running state — are
+// adopted as the running set in the given order (the snapshot machine's
+// internal order, so later swap-removals replay identically). Occupancy
+// is recomputed from the jobs; an overcommitted set is an error.
+func (m *Machine) RestoreState(st State, running []*job.Job) error {
+	m.free = m.cfg.CPUs
+	m.busyNativeCPUs, m.busyInterstCPUs = 0, 0
+	m.running = m.running[:0]
+	m.runningIdx = make(map[int]int, len(running))
+	for _, j := range running {
+		if j.State != job.Running {
+			return fmt.Errorf("machine %s: restoring job %d with state %v", m.cfg.Name, j.ID, j.State)
+		}
+		m.free -= j.CPUs
+		if m.free < 0 {
+			return fmt.Errorf("machine %s: restored running set overcommits by %d CPUs", m.cfg.Name, -m.free)
+		}
+		if j.Class == job.Interstitial {
+			m.busyInterstCPUs += j.CPUs
+		} else {
+			m.busyNativeCPUs += j.CPUs
+		}
+		m.runningIdx[j.ID] = len(m.running)
+		m.running = append(m.running, j)
+	}
+	m.lastUpdate = st.LastUpdate
+	m.nativeCPUSec = st.NativeCPUSec
+	m.interstCPUSec = st.InterstCPUSec
+	m.startedJobs = st.StartedJobs
+	m.finishedJobs = st.FinishedJobs
+	m.peakBusy = st.PeakBusy
+	return m.CheckInvariants()
+}
+
 // CheckInvariants verifies the allocation ledger is self-consistent.
 func (m *Machine) CheckInvariants() error {
 	sum := 0

@@ -1,0 +1,65 @@
+package rng
+
+import "math/rand"
+
+// Counter wraps a rand.Source64 and counts how many times the underlying
+// source advances. Every math/rand primitive (Float64, ExpFloat64,
+// NormFloat64, Int63, Perm, ...) advances the source exactly once per
+// internal draw, so a position recorded here identifies an exact point in
+// the deterministic draw sequence: a fresh source Skip()ed to the same
+// position continues with identical values. The streaming workload
+// generator uses this to replay selected spans of Generate's draw
+// sequence without materializing intermediate results.
+//
+// Counter must implement rand.Source64: rand.Rand type-switches on its
+// source and takes a different (and differently-consuming) path for
+// plain Sources, which would break replay.
+type Counter struct {
+	src rand.Source64
+	pos uint64
+}
+
+// NewCounted returns a *rand.Rand seeded like New(seed) plus the Counter
+// tracking its source position. The Rand's draw sequence is identical to
+// New(seed)'s.
+func NewCounted(seed int64) (*rand.Rand, *Counter) {
+	src, ok := rand.NewSource(seed).(rand.Source64)
+	if !ok {
+		// rand.NewSource has returned a Source64 since Go 1.8; replay
+		// counting is meaningless without it.
+		panic("rng: rand.NewSource does not implement Source64")
+	}
+	c := &Counter{src: src}
+	return rand.New(c), c
+}
+
+// Int63 advances the source once.
+func (c *Counter) Int63() int64 {
+	c.pos++
+	return c.src.Int63()
+}
+
+// Uint64 advances the source once.
+func (c *Counter) Uint64() uint64 {
+	c.pos++
+	return c.src.Uint64()
+}
+
+// Seed reseeds the underlying source and resets the position.
+func (c *Counter) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.pos = 0
+}
+
+// Pos reports how many times the source has advanced.
+func (c *Counter) Pos() uint64 { return c.pos }
+
+// Skip fast-forwards the source by n draws. Skipping from position 0 to
+// a position recorded on another Counter with the same seed lands on the
+// identical source state.
+func (c *Counter) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.pos += n
+}

@@ -105,6 +105,22 @@ type Policy interface {
 	OnFinish(now sim.Time, j *job.Job)
 }
 
+// PolicyState is a serializable snapshot of a policy's mutable state.
+// Every built-in policy's only mutable state is its fair-share tree;
+// policies with more state would extend this struct.
+type PolicyState struct {
+	FairShare *fairshare.State `json:"fairShare,omitempty"`
+}
+
+// Stateful is implemented by policies whose accounting can be
+// checkpointed and restored. All built-in policies implement it (via
+// the shared fair-share core); the engine's checkpoint path requires
+// it.
+type Stateful interface {
+	PolicyState() PolicyState
+	SetPolicyState(PolicyState)
+}
+
 // fairSharePolicy is the common core of the three machine policies.
 type fairSharePolicy struct {
 	name     string
@@ -148,6 +164,21 @@ func (p *fairSharePolicy) OnStart(now sim.Time, j *job.Job) {
 // OnFinish corrects the start-time charge to the job's true area.
 func (p *fairSharePolicy) OnFinish(now sim.Time, j *job.Job) {
 	p.tree.Charge(now, j, float64(j.CPUs)*(float64(j.Runtime)-float64(j.Estimate)))
+}
+
+// PolicyState snapshots the fair-share accounting. Embedding promotes
+// these onto the DPCS and multifactor policies, whose extra fields
+// (gates, weights) are construction-time constants.
+func (p *fairSharePolicy) PolicyState() PolicyState {
+	st := p.tree.State()
+	return PolicyState{FairShare: &st}
+}
+
+// SetPolicyState restores the fair-share accounting.
+func (p *fairSharePolicy) SetPolicyState(st PolicyState) {
+	if st.FairShare != nil {
+		p.tree.SetState(*st.FairShare)
+	}
 }
 
 // NewFCFS returns a plain first-come-first-served policy with no backfill;

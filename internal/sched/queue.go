@@ -65,6 +65,28 @@ func (q *Queue) Remove(i int) *job.Job {
 // mutate it.
 func (q *Queue) Jobs() []*job.Job { return q.jobs }
 
+// Ordered reports the length of the ordered prefix (see the type
+// comment); checkpointing captures it so a restore can adopt the queue
+// without forcing a premature re-sort.
+func (q *Queue) Ordered() int { return q.ordered }
+
+// Restore replaces the queue's contents: jobs are adopted in the given
+// order, of which the first ordered are already in dispatch order. Each
+// job is marked Queued. Checkpoint restore uses it.
+func (q *Queue) Restore(jobs []*job.Job, ordered int) {
+	if ordered < 0 {
+		ordered = 0
+	}
+	if ordered > len(jobs) {
+		ordered = len(jobs)
+	}
+	q.jobs = jobs
+	q.ordered = ordered
+	for _, j := range jobs {
+		j.State = job.Queued
+	}
+}
+
 // Unordered exposes the arrivals appended since the last ordering step;
 // callers assign their priorities before MergeUnordered.
 func (q *Queue) Unordered() []*job.Job { return q.jobs[q.ordered:] }

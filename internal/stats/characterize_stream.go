@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+
+	"interstitial/internal/job"
+	"interstitial/internal/sim"
+)
+
+// StreamCharacterizer builds a Characterization one job at a time, so a
+// million-job synthetic log can be profiled straight off the generator
+// without materializing it. Every field matches the batch Characterize
+// exactly except the runtime/estimate medians, which are P² estimates
+// (see the error model in streaming.go); means, extrema, counts, spans,
+// dispersion, and offered load are computed from the identical sums.
+type StreamCharacterizer struct {
+	nCPUs int
+	n     int
+
+	users  map[string]struct{}
+	groups map[string]struct{}
+
+	first, last sim.Time
+	maxCPUs     int
+	buckets     map[int]int
+	maxBucket   int
+
+	rt  *StreamSummary
+	est *StreamSummary
+
+	area     float64
+	logRatio float64
+	nRatio   int
+
+	arrBucket sim.Time
+	arrCounts map[sim.Time]int
+	arrLo     sim.Time
+	arrHi     sim.Time
+}
+
+// NewStreamCharacterizer returns an empty accumulator. nCPUs (machine
+// size) may be zero if unknown; offered load is then left in CPU units.
+func NewStreamCharacterizer(nCPUs int) *StreamCharacterizer {
+	return &StreamCharacterizer{
+		nCPUs:     nCPUs,
+		users:     map[string]struct{}{},
+		groups:    map[string]struct{}{},
+		buckets:   map[int]int{},
+		rt:        NewStreamSummary(),
+		est:       NewStreamSummary(),
+		arrBucket: 6 * 3600,
+		arrCounts: map[sim.Time]int{},
+	}
+}
+
+// Add folds one job in.
+func (c *StreamCharacterizer) Add(j *job.Job) {
+	if c.n == 0 {
+		c.first, c.last = j.Submit, j.Submit
+		c.arrLo, c.arrHi = j.Submit, j.Submit
+	}
+	c.n++
+	c.users[j.User] = struct{}{}
+	c.groups[j.Group] = struct{}{}
+	if j.Submit < c.first {
+		c.first = j.Submit
+	}
+	if j.Submit > c.last {
+		c.last = j.Submit
+	}
+	if j.CPUs > c.maxCPUs {
+		c.maxCPUs = j.CPUs
+	}
+	b := 0
+	for v := j.CPUs; v > 1; v /= 2 {
+		b++
+	}
+	c.buckets[b]++
+	if b > c.maxBucket {
+		c.maxBucket = b
+	}
+	c.rt.Add(j.Runtime.HoursF())
+	c.est.Add(j.Estimate.HoursF())
+	c.area += j.CPUSeconds()
+	if j.Runtime > 0 && j.Estimate > 0 {
+		c.logRatio += math.Log(float64(j.Estimate) / float64(j.Runtime))
+		c.nRatio++
+	}
+	c.arrCounts[j.Submit/c.arrBucket]++
+	if j.Submit < c.arrLo {
+		c.arrLo = j.Submit
+	}
+	if j.Submit > c.arrHi {
+		c.arrHi = j.Submit
+	}
+}
+
+// N reports how many jobs have been folded in.
+func (c *StreamCharacterizer) N() int { return c.n }
+
+// Characterization renders the accumulated state.
+func (c *StreamCharacterizer) Characterization() Characterization {
+	out := Characterization{Jobs: c.n}
+	if c.n == 0 {
+		return out
+	}
+	out.Users = len(c.users)
+	out.Groups = len(c.groups)
+	span := float64(c.last - c.first)
+	out.SpanDays = span / 86400
+	out.MaxCPUs = c.maxCPUs
+	out.SizeBuckets = make([]int, c.maxBucket+1)
+	for b, n := range c.buckets {
+		out.SizeBuckets[b] = n
+	}
+	out.RuntimeH = c.rt.Summary()
+	out.EstimateH = c.est.Summary()
+	if c.nRatio > 0 {
+		out.EstimateOverRatio = math.Exp(c.logRatio / float64(c.nRatio))
+	}
+	if span > 0 {
+		out.OfferedLoad = c.area / span
+		if c.nCPUs > 0 {
+			out.OfferedLoad /= float64(c.nCPUs)
+		}
+	}
+	out.Dispersion = c.dispersion()
+	return out
+}
+
+// dispersion replicates the batch index-of-dispersion computation from
+// the accumulated 6h bucket counts.
+func (c *StreamCharacterizer) dispersion() float64 {
+	n := int(c.arrHi/c.arrBucket) - int(c.arrLo/c.arrBucket) + 1
+	if n < 2 {
+		return 0
+	}
+	mean := float64(c.n) / float64(n)
+	if mean == 0 {
+		return 0
+	}
+	var varsum float64
+	for i := 0; i < n; i++ {
+		d := float64(c.arrCounts[c.arrLo/c.arrBucket+sim.Time(i)]) - mean
+		varsum += d * d
+	}
+	return varsum / float64(n) / mean
+}

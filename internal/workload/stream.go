@@ -1,0 +1,405 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"interstitial/internal/job"
+	"interstitial/internal/rng"
+	"interstitial/internal/sim"
+)
+
+// ErrArrivalConvergence reports that the arrival-rate calibration retry
+// loop exhausted its budget without producing enough submit times inside
+// the log horizon. It is wrapped with profile context; test with
+// errors.Is.
+var ErrArrivalConvergence = errors.New("workload: arrival calibration failed to converge")
+
+// arrivalAttempts is the calibration retry budget. The built-in profiles
+// converge on the first or second attempt.
+const arrivalAttempts = 6
+
+// Stream yields the job log one job at a time in submit order, emitting
+// the bit-identical sequence Generate materializes, with live memory
+// independent of the log length (the one exception: an overshooting
+// arrival calibration keeps a subsample bitmap of ~1 bit per candidate
+// arrival, ~150 KB per million jobs).
+//
+// The trick is that Generate's draw sequence is fully determined by
+// (profile, seed): a cheap pre-pass runs the whole sequence once to
+// learn the two global quantities that couple late jobs to early ones —
+// which arrival sweep wins calibration, and the total CPU-second area
+// the runtime rescale divides by — recording the RNG positions where
+// the arrival and per-job draws begin. Emission then replays those two
+// spans on independent fast-forwarded cursors, interleaved with the
+// main cursor (left parked at the estimate draws) so every value is
+// re-derived exactly where Generate derived it, job by job.
+type Stream struct {
+	p     Profile
+	f     float64 // runtime rescale factor; 0 = no rescale (zero area)
+	total int
+
+	r *rand.Rand // main cursor: parked at the estimate draws
+
+	arrCur  *sweepCursor // replays the winning arrival sweep
+	keep    []uint64     // subsample bitmap over candidates; nil = keep all
+	candIdx int
+
+	jobR     *rand.Rand // replays the per-job attribute draws
+	sigma    float64
+	sizeMenu *rng.Discrete
+	estMenu  *rng.Discrete
+	zipfU    zipfSampler
+	zipfG    zipfSampler
+	users    []string
+	groups   []string
+
+	nativeIdx     int // natives emitted so far (== last emitted ID)
+	pendingNative *job.Job
+	outages       []*job.Job
+	outIdx        int
+	emitted       int64
+}
+
+// NewStream validates p and prepares a job stream for it. The
+// preparation pre-pass costs one full run over the draw sequence
+// (O(Jobs) time, O(1) memory) before the first job is emitted.
+func NewStream(p Profile, seed int64) (*Stream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r, ctr := rng.NewCounted(seed)
+	plan, err := planArrivals(p, r, ctr, arrivalAttempts)
+	if err != nil {
+		return nil, err
+	}
+
+	sigma := rng.LogNormalSigmaForMean(p.RuntimeMedianH, p.RuntimeMeanH)
+	sizeMenu := rng.NewDiscrete(smallSizes, smallWeights)
+	zipfU, zipfG := newZipfSampler(p.Users), newZipfSampler(p.Groups)
+
+	// Attribute pre-pass: consume the per-job draws on the main cursor
+	// (parking it exactly where Generate starts drawing estimates) while
+	// accumulating, in generation order, the total area the calibration
+	// rescale divides by. The accumulation order matters: float64
+	// addition is not associative and the factor must match Generate's
+	// bit for bit.
+	jobPos := ctr.Pos()
+	var area float64
+	for i := 0; i < p.Jobs; i++ {
+		_, _, cpus, rt := drawJobAttrs(p, r, zipfU, zipfG, sigma, sizeMenu)
+		area += float64(cpus) * float64(rt)
+	}
+	f := 0.0
+	if area > 0 {
+		f = p.TargetUtil * float64(p.Machine.CPUs) * float64(p.Duration()) / area
+	}
+
+	// Replay cursors: fresh sources fast-forwarded to the recorded
+	// positions continue with the identical draw sequence.
+	arrR, arrCtr := rng.NewCounted(seed)
+	arrCtr.Skip(plan.startPos)
+	jobR, jobCtr := rng.NewCounted(seed)
+	jobCtr.Skip(jobPos)
+
+	s := &Stream{
+		p:        p,
+		f:        f,
+		total:    p.Jobs,
+		r:        r,
+		arrCur:   newSweepCursor(p, arrR, plan.base, plan.horizon),
+		keep:     plan.keep,
+		jobR:     jobR,
+		sigma:    sigma,
+		sizeMenu: sizeMenu,
+		estMenu:  rng.NewDiscrete(estimateMenuH, estimateMenuW),
+		zipfU:    zipfU,
+		zipfG:    zipfG,
+		users:    nameTable("u", p.Users),
+		groups:   nameTable("g", p.Groups),
+		outages:  p.outageJobs(p.Jobs),
+	}
+	s.total += len(s.outages)
+	return s, nil
+}
+
+// Total reports how many jobs the stream will yield in all (natives plus
+// maintenance outages).
+func (s *Stream) Total() int { return s.total }
+
+// Emitted reports how many jobs Next has yielded so far.
+func (s *Stream) Emitted() int64 { return s.emitted }
+
+// Next returns the next job in submit order, or ok=false once the log is
+// exhausted. Each job is freshly allocated; the caller owns it.
+func (s *Stream) Next() (*job.Job, bool) {
+	if s.pendingNative == nil && s.nativeIdx < s.p.Jobs {
+		s.pendingNative = s.nextNative()
+	}
+	// Natives win submit-time ties: Generate appends outages after the
+	// natives and restores order with a stable sort.
+	if s.pendingNative != nil &&
+		(s.outIdx >= len(s.outages) || s.pendingNative.Submit <= s.outages[s.outIdx].Submit) {
+		j := s.pendingNative
+		s.pendingNative = nil
+		s.emitted++
+		return j, true
+	}
+	if s.outIdx < len(s.outages) {
+		j := s.outages[s.outIdx]
+		s.outIdx++
+		s.emitted++
+		return j, true
+	}
+	return nil, false
+}
+
+// Skip discards the next n jobs. Restoring a checkpointed consumer uses
+// it to reposition a fresh stream: O(n) time (the draws are regenerated)
+// but still O(1) memory.
+func (s *Stream) Skip(n int64) {
+	for i := int64(0); i < n; i++ {
+		if _, ok := s.Next(); !ok {
+			return
+		}
+	}
+}
+
+// nextNative re-derives native job nativeIdx+1 from the three cursors.
+func (s *Stream) nextNative() *job.Job {
+	at, ok := s.nextArrival()
+	if !ok {
+		// Unreachable: planArrivals proved the sweep yields >= p.Jobs
+		// kept candidates.
+		panic("workload: arrival replay exhausted early")
+	}
+	uidx, gidx, cpus, rt := drawJobAttrs(s.p, s.jobR, s.zipfU, s.zipfG, s.sigma, s.sizeMenu)
+	if s.f != 0 {
+		scaled := sim.Time(float64(rt) * s.f)
+		if scaled < 30 {
+			scaled = 30
+		}
+		rt = scaled
+	}
+	s.nativeIdx++
+	j := job.New(s.nativeIdx, s.users[uidx], s.groups[gidx], cpus, rt, 0, at)
+	j.Estimate = sampleEstimate(s.r, s.estMenu, j.Runtime)
+	return j
+}
+
+// nextArrival replays sweep candidates, skipping the ones the overshoot
+// subsample dropped.
+func (s *Stream) nextArrival() (sim.Time, bool) {
+	for {
+		at, ok := s.arrCur.next()
+		if !ok {
+			return 0, false
+		}
+		i := s.candIdx
+		s.candIdx++
+		if s.keep == nil || s.keep[i/64]&(1<<(i%64)) != 0 {
+			return at, true
+		}
+	}
+}
+
+// drawJobAttrs consumes one job's attribute draws in Generate's exact
+// order: user, group, size, runtime (with the size-runtime coupling).
+func drawJobAttrs(p Profile, r *rand.Rand, zu, zg zipfSampler, sigma float64, sizeMenu *rng.Discrete) (uidx, gidx, cpus int, rt sim.Time) {
+	uidx = zu.sample(r)
+	gidx = zg.sample(r)
+	cpus = p.sampleCPUs(r, sizeMenu)
+	rt = p.sampleRuntime(r, sigma)
+	if p.RTSizeCorr > 0 && cpus > p.TailCPUMin {
+		// Big jobs run longer on these machines; couple mildly.
+		rt = sim.Time(float64(rt) * math.Pow(float64(cpus)/float64(p.TailCPUMin), p.RTSizeCorr))
+	}
+	return uidx, gidx, cpus, rt
+}
+
+// nameTable interns the population's names so emission does not Sprintf
+// per job.
+func nameTable(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%02d", prefix, i)
+	}
+	return out
+}
+
+// zipfSampler draws an index in [0,n) with a Zipf-ish activity skew
+// (weight(i) ~ 1/(i+1)^0.8), so a few users/groups dominate submissions
+// as on real machines. The weights are cached, but the draw replicates
+// the original per-call subtract-scan exactly — same values combined in
+// the same order — so cached weights change no output bit.
+type zipfSampler struct {
+	w     []float64
+	total float64
+}
+
+func newZipfSampler(n int) zipfSampler {
+	z := zipfSampler{w: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		z.w[i] = math.Pow(float64(i+1), -0.8)
+		z.total += z.w[i]
+	}
+	return z
+}
+
+func (z zipfSampler) sample(r *rand.Rand) int {
+	x := r.Float64() * z.total
+	for i, w := range z.w {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(z.w) - 1
+}
+
+// arrivalPlan records how to replay the winning calibration sweep: the
+// RNG position where it started, the base rate it ran at, and (after an
+// overshoot) which candidates the uniform subsample kept.
+type arrivalPlan struct {
+	startPos   uint64
+	base       float64
+	horizon    float64
+	candidates int
+	keep       []uint64 // bitmap over candidates; nil = keep all
+}
+
+// planArrivals runs the arrival calibration loop — consuming draws
+// identically to the original materializing arrivals() — but records a
+// replayable plan instead of the times themselves. An exhausted retry
+// budget is an error wrapping ErrArrivalConvergence, not a panic: this
+// is a library boundary.
+//
+// Overshoot correction note: the original kept times[perm[i]] for i in
+// emission order and then sorted. A sweep's times are nondecreasing, so
+// the kept subset read in sweep order is already sorted — replay just
+// filters candidates through the keep bitmap. (sort.Slice is unstable,
+// but equal int64 times are indistinguishable, so the value sequence is
+// identical either way.)
+func planArrivals(p Profile, r *rand.Rand, ctr *rng.Counter, attempts int) (arrivalPlan, error) {
+	horizon := float64(p.Duration()) * 0.98
+	base := float64(p.Jobs) / horizon
+	for attempt := 0; attempt < attempts; attempt++ {
+		pos := ctr.Pos()
+		cur := newSweepCursor(p, r, base, horizon)
+		n := 0
+		for {
+			if _, ok := cur.next(); !ok {
+				break
+			}
+			n++
+		}
+		if n < p.Jobs {
+			// Undershoot: raise the base rate proportionally and retry.
+			got := n
+			if got < 1 {
+				got = 1
+			}
+			base *= float64(p.Jobs) / float64(got) * 1.05
+			continue
+		}
+		plan := arrivalPlan{startPos: pos, base: base, horizon: horizon, candidates: n}
+		if n > p.Jobs {
+			// Overshoot: keep a uniform subsample of exactly p.Jobs
+			// arrivals — which, unlike rescaling time, preserves the
+			// time-of-day and day-of-week phase of every arrival.
+			perm := r.Perm(n)[:p.Jobs]
+			plan.keep = make([]uint64, (n+63)/64)
+			for _, idx := range perm {
+				plan.keep[idx/64] |= 1 << (idx % 64)
+			}
+		}
+		return plan, nil
+	}
+	return arrivalPlan{}, fmt.Errorf("%w after %d attempts (%d jobs in %.1f days on %s)",
+		ErrArrivalConvergence, attempts, p.Jobs, p.Days, p.Machine.Name)
+}
+
+// sweepCursor steps one arrival-thinning sweep candidate by candidate:
+// a Poisson stream at the maximum instantaneous rate, thinned by the
+// diurnal/weekly/ON-OFF modulated acceptance probability. The loop body
+// is the original arrivalSweep's, verbatim, so replay consumes draws
+// identically.
+type sweepCursor struct {
+	r          *rand.Rand
+	base       float64
+	horizon    float64
+	hurst      float64
+	burstGain  float64
+	onMean     float64
+	offMean    float64
+	compensate float64
+	maxRate    float64
+
+	on        bool
+	phaseLeft float64
+	t         float64
+}
+
+func newSweepCursor(p Profile, r *rand.Rand, base, horizon float64) *sweepCursor {
+	c := &sweepCursor{
+		r:       r,
+		base:    base,
+		horizon: horizon,
+		hurst:   p.ArrivalHurst,
+		// ON/OFF burst state: bursts multiply the rate by burstGain.
+		burstGain: 1 + 5*p.Burstiness,
+		onMean:    2 * 3600.0,  // bursts last ~2h
+		offMean:   10 * 3600.0, // spaced ~10h apart
+		// Compensate so the long-run mean stays near base.
+		compensate: 1 - 0.4*p.Burstiness,
+	}
+	c.phaseLeft = c.episode(c.offMean)
+	// Thinning against the maximum possible instantaneous rate.
+	c.maxRate = base * 1.8 * 1.15 * c.burstGain
+	return c
+}
+
+// episode draws one ON/OFF episode duration. With ArrivalHurst set the
+// draw is bounded-Pareto (alpha = 3 - 2H, mean preserved, capped at the
+// horizon) instead of exponential: heavy-tailed episodes are what turn
+// the burst process long-range correlated (Clearwater & Kleban).
+func (c *sweepCursor) episode(mean float64) float64 {
+	if c.hurst > 0 {
+		alpha := 3 - 2*c.hurst
+		lo := mean * (alpha - 1) / alpha
+		return rng.BoundedPareto(c.r, alpha, lo, c.horizon)
+	}
+	return rng.Exponential(c.r, mean)
+}
+
+// next produces the next accepted arrival, or ok=false at end of horizon.
+func (c *sweepCursor) next() (sim.Time, bool) {
+	for c.t < c.horizon {
+		dt := rng.Exponential(c.r, 1/c.maxRate)
+		c.t += dt
+		c.phaseLeft -= dt
+		for c.phaseLeft <= 0 {
+			c.on = !c.on
+			if c.on {
+				c.phaseLeft += c.episode(c.onMean)
+			} else {
+				c.phaseLeft += c.episode(c.offMean)
+			}
+		}
+		rate := c.base * diurnal(c.t) * weekly(c.t)
+		if c.on {
+			rate *= c.burstGain
+		} else {
+			rate *= c.compensate
+		}
+		if rate > c.maxRate {
+			rate = c.maxRate
+		}
+		if c.t < c.horizon && c.r.Float64() < rate/c.maxRate {
+			return sim.Time(c.t), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,319 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"interstitial/internal/job"
+	"interstitial/internal/rng"
+	"interstitial/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// Frozen legacy generator. This is a verbatim copy of the materializing
+// Generate (and the helpers the streaming refactor replaced) exactly as
+// it stood before NewStream existed. The differential tests below prove
+// Stream — and therefore the new Generate, its wrapper — reproduces it
+// bit for bit on existing seeds. Do not "fix" or modernize this copy:
+// its whole value is that it does not change.
+// ---------------------------------------------------------------------------
+
+func legacyGenerate(p Profile, seed int64) []*job.Job {
+	r := rng.New(seed)
+	arr := legacyArrivals(p, r)
+	jobs := make([]*job.Job, p.Jobs)
+	sigma := rng.LogNormalSigmaForMean(p.RuntimeMedianH, p.RuntimeMeanH)
+	estMenu := rng.NewDiscrete(estimateMenuH, estimateMenuW)
+	sizeMenu := rng.NewDiscrete(smallSizes, smallWeights)
+
+	for i := 0; i < p.Jobs; i++ {
+		user := fmt.Sprintf("u%02d", legacyZipfIndex(r, p.Users))
+		group := fmt.Sprintf("g%02d", legacyZipfIndex(r, p.Groups))
+		cpus := p.sampleCPUs(r, sizeMenu)
+		rt := p.sampleRuntime(r, sigma)
+		if p.RTSizeCorr > 0 && cpus > p.TailCPUMin {
+			rt = sim.Time(float64(rt) * math.Pow(float64(cpus)/float64(p.TailCPUMin), p.RTSizeCorr))
+		}
+		jobs[i] = job.New(i+1, user, group, cpus, rt, 0, arr[i])
+	}
+
+	legacyScaleToTargetArea(p, jobs)
+	for _, j := range jobs {
+		j.Estimate = sampleEstimate(r, estMenu, j.Runtime)
+	}
+	jobs = append(jobs, p.outageJobs(len(jobs))...)
+	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Submit < jobs[k].Submit })
+	return jobs
+}
+
+func legacyZipfIndex(r *rand.Rand, n int) int {
+	u := r.Float64()
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -0.8)
+	}
+	x := u * total
+	for i := 0; i < n; i++ {
+		x -= math.Pow(float64(i+1), -0.8)
+		if x < 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+func legacyScaleToTargetArea(p Profile, jobs []*job.Job) {
+	var area float64
+	for _, j := range jobs {
+		area += float64(j.CPUs) * float64(j.Runtime)
+	}
+	target := p.TargetUtil * float64(p.Machine.CPUs) * float64(p.Duration())
+	if area <= 0 {
+		return
+	}
+	f := target / area
+	for _, j := range jobs {
+		rt := sim.Time(float64(j.Runtime) * f)
+		if rt < 30 {
+			rt = 30
+		}
+		j.Runtime = rt
+	}
+}
+
+func legacyArrivals(p Profile, r *rand.Rand) []sim.Time {
+	horizon := float64(p.Duration()) * 0.98
+	base := float64(p.Jobs) / horizon
+	for attempt := 0; attempt < 6; attempt++ {
+		times := legacyArrivalSweep(p, r, base, horizon)
+		if len(times) < p.Jobs {
+			got := len(times)
+			if got < 1 {
+				got = 1
+			}
+			base *= float64(p.Jobs) / float64(got) * 1.05
+			continue
+		}
+		if len(times) > p.Jobs {
+			perm := r.Perm(len(times))[:p.Jobs]
+			kept := make([]sim.Time, p.Jobs)
+			for i, idx := range perm {
+				kept[i] = times[idx]
+			}
+			times = kept
+			sort.Slice(times, func(i, k int) bool { return times[i] < times[k] })
+		}
+		return times
+	}
+	panic("workload: arrival calibration failed to converge")
+}
+
+func legacyArrivalSweep(p Profile, r *rand.Rand, base, horizon float64) []sim.Time {
+	burstGain := 1 + 5*p.Burstiness
+	onMean := 2 * 3600.0
+	offMean := 10 * 3600.0
+	on := false
+	phaseLeft := rng.Exponential(r, offMean)
+
+	maxRate := base * 1.8 * 1.15 * burstGain
+	var times []sim.Time
+	t := 0.0
+	for t < horizon {
+		dt := rng.Exponential(r, 1/maxRate)
+		t += dt
+		phaseLeft -= dt
+		for phaseLeft <= 0 {
+			on = !on
+			if on {
+				phaseLeft += rng.Exponential(r, onMean)
+			} else {
+				phaseLeft += rng.Exponential(r, offMean)
+			}
+		}
+		rate := base * diurnal(t) * weekly(t)
+		if on {
+			rate *= burstGain
+		} else {
+			rate *= 1 - 0.4*p.Burstiness
+		}
+		if rate > maxRate {
+			rate = maxRate
+		}
+		if t < horizon && r.Float64() < rate/maxRate {
+			times = append(times, sim.Time(t))
+		}
+	}
+	return times
+}
+
+// ---------------------------------------------------------------------------
+// Differential tests.
+// ---------------------------------------------------------------------------
+
+func jobsEqual(t *testing.T, label string, want, got []*job.Job) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d jobs, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.ID != g.ID || w.User != g.User || w.Group != g.Group ||
+			w.CPUs != g.CPUs || w.Runtime != g.Runtime ||
+			w.Estimate != g.Estimate || w.Submit != g.Submit ||
+			w.Class != g.Class {
+			t.Fatalf("%s: job %d differs:\nwant %+v\ngot  %+v", label, i, *w, *g)
+		}
+	}
+}
+
+// TestGenerateMatchesLegacyBitForBit is the streaming refactor's anchor:
+// for every built-in profile (plus an outage variant) and several seeds,
+// the new Generate — a collector over Stream — must emit the byte-exact
+// job sequence the pre-refactor generator did.
+func TestGenerateMatchesLegacyBitForBit(t *testing.T) {
+	profiles := map[string]Profile{
+		"ross":         Ross(),
+		"bluemountain": BlueMountain(),
+		"bluepacific":  BluePacific(),
+		"outages":      BlueMountain().WithOutages(14, 12),
+	}
+	for name, p := range profiles {
+		for _, seed := range []int64{1, 7, 42} {
+			want := legacyGenerate(p, seed)
+			got := MustGenerate(p, seed)
+			jobsEqual(t, fmt.Sprintf("%s seed %d", name, seed), want, got)
+		}
+	}
+}
+
+// TestStreamMatchesGenerate checks the wrapper relation directly, field
+// by field, including the lazily-emitted outage interleaving.
+func TestStreamMatchesGenerate(t *testing.T) {
+	p := Ross().WithOutages(7, 8)
+	jobs := MustGenerate(p, 3)
+	s, err := NewStream(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Total() != len(jobs) {
+		t.Fatalf("Total() = %d, want %d", s.Total(), len(jobs))
+	}
+	var streamed []*job.Job
+	for {
+		j, ok := s.Next()
+		if !ok {
+			break
+		}
+		streamed = append(streamed, j)
+	}
+	jobsEqual(t, "stream", jobs, streamed)
+	if s.Emitted() != int64(len(jobs)) {
+		t.Fatalf("Emitted() = %d, want %d", s.Emitted(), len(jobs))
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next() after exhaustion returned a job")
+	}
+}
+
+// TestStreamSkip proves Skip repositions a fresh stream exactly: the
+// tail after skipping k matches the tail of a full enumeration.
+func TestStreamSkip(t *testing.T) {
+	p := BlueMountain().WithOutages(21, 10)
+	all := MustGenerate(p, 5)
+	k := int64(len(all) / 3)
+	s, err := NewStream(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Skip(k)
+	if s.Emitted() != k {
+		t.Fatalf("Emitted() after Skip(%d) = %d", k, s.Emitted())
+	}
+	var tail []*job.Job
+	for {
+		j, ok := s.Next()
+		if !ok {
+			break
+		}
+		tail = append(tail, j)
+	}
+	jobsEqual(t, "tail", all[k:], tail)
+}
+
+// TestArrivalConvergenceError exercises the library-boundary error that
+// replaced the old panic: with a zero retry budget the calibration
+// cannot succeed and must report ErrArrivalConvergence.
+func TestArrivalConvergenceError(t *testing.T) {
+	p := Ross()
+	r, ctr := rng.NewCounted(1)
+	if _, err := planArrivals(p, r, ctr, 0); !errors.Is(err, ErrArrivalConvergence) {
+		t.Fatalf("planArrivals with no attempts: err = %v, want ErrArrivalConvergence", err)
+	}
+}
+
+// TestStreamRejectsInvalidProfile: validation errors surface from
+// NewStream (and hence Generate) before any work happens.
+func TestStreamRejectsInvalidProfile(t *testing.T) {
+	p := Ross()
+	p.ArrivalHurst = 1.2
+	if _, err := NewStream(p, 1); err == nil {
+		t.Fatal("ArrivalHurst 1.2 accepted")
+	}
+	p.ArrivalHurst = 0.3
+	if _, err := Generate(p, 1); err == nil {
+		t.Fatal("ArrivalHurst 0.3 accepted")
+	}
+}
+
+// TestArrivalHurstZeroIsByteIdentical: the LRC knob is strictly opt-in.
+func TestArrivalHurstZeroIsByteIdentical(t *testing.T) {
+	p := Ross()
+	jobsEqual(t, "hurst off", MustGenerate(p, 9), MustGenerate(p.WithArrivalHurst(0), 9))
+}
+
+// dispersionAt computes the index of dispersion of arrival counts in
+// fixed buckets over the full horizon (variance/mean; 1 for Poisson).
+func dispersionAt(jobs []*job.Job, horizon, bucket sim.Time) float64 {
+	n := int(horizon/bucket) + 1
+	counts := make([]float64, n)
+	for _, j := range jobs {
+		if b := int(j.Submit / bucket); b < n {
+			counts[b]++
+		}
+	}
+	var sum float64
+	for _, c := range counts {
+		sum += c
+	}
+	mean := sum / float64(n)
+	var varsum float64
+	for _, c := range counts {
+		d := c - mean
+		varsum += d * d
+	}
+	return varsum / float64(n) / mean
+}
+
+// TestArrivalHurstLongRangeCorrelation: for a long-range-correlated
+// count process the index of dispersion keeps growing with the counting
+// window (~T^(2H-1)), while for exponential episodes it saturates once
+// the window passes the episode scale. Compare the large-window/small-
+// window dispersion growth with and without the knob.
+func TestArrivalHurstLongRangeCorrelation(t *testing.T) {
+	p := BlueMountain()
+	base := MustGenerate(p, 11)
+	lrc := MustGenerate(p.WithArrivalHurst(0.9), 11)
+	horizon := p.Duration()
+
+	growth := func(jobs []*job.Job) float64 {
+		return dispersionAt(jobs, horizon, 48*3600) / dispersionAt(jobs, horizon, 2*3600)
+	}
+	gBase, gLRC := growth(base), growth(lrc)
+	if !(gLRC > gBase) {
+		t.Fatalf("dispersion growth with Hurst 0.9 = %.2f, without = %.2f; want LRC larger", gLRC, gBase)
+	}
+}

@@ -13,13 +13,16 @@
 //   - bursty arrivals: diurnal and weekly cycles plus ON/OFF burst
 //     episodes, giving the long-term correlated submission pattern the
 //     paper cites as a driver of utilization variance.
+//
+// Logs can be materialized (Generate) or streamed one job at a time in
+// submit order (NewStream) with O(1) live memory in the log length; both
+// paths emit bit-identical jobs for the same profile and seed.
 package workload
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"interstitial/internal/job"
 	"interstitial/internal/machine"
@@ -72,6 +75,17 @@ type Profile struct {
 	// Burstiness in [0,1] scales the ON/OFF burst modulation.
 	Burstiness float64
 
+	// ArrivalHurst, when nonzero, draws the ON/OFF episode durations
+	// from a bounded Pareto instead of an exponential, giving the
+	// long-range-correlated arrival process Clearwater & Kleban measure
+	// on these machines ("Relaxation Phenomena in Supercomputer Job
+	// Arrivals"): heavy-tailed episode lengths with tail exponent
+	// alpha = 3 - 2H produce a self-similar count process with Hurst
+	// parameter H. Valid values are in (0.5, 1); zero (the default)
+	// keeps the exponential episodes and leaves every existing seed's
+	// output byte-identical.
+	ArrivalHurst float64
+
 	// OutageEveryDays schedules a full-machine maintenance drain at this
 	// cadence (0 disables outages — the default, so Table 1 calibration
 	// stays exact). OutageHours is each outage's length. The dead zones
@@ -84,6 +98,13 @@ type Profile struct {
 func (p Profile) WithOutages(everyDays, hours float64) Profile {
 	p.OutageEveryDays = everyDays
 	p.OutageHours = hours
+	return p
+}
+
+// WithArrivalHurst returns a copy of p with long-range-correlated
+// arrival episodes of the given Hurst parameter (see ArrivalHurst).
+func (p Profile) WithArrivalHurst(h float64) Profile {
+	p.ArrivalHurst = h
 	return p
 }
 
@@ -147,6 +168,8 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("workload: empty population")
 	case p.MaxCPUFrac <= 0 || p.MaxCPUFrac > 1:
 		return fmt.Errorf("workload: MaxCPUFrac %v", p.MaxCPUFrac)
+	case p.ArrivalHurst != 0 && (p.ArrivalHurst <= 0.5 || p.ArrivalHurst >= 1):
+		return fmt.Errorf("workload: ArrivalHurst %v out of (0.5,1)", p.ArrivalHurst)
 	}
 	return nil
 }
@@ -163,39 +186,25 @@ var estimateMenuH = []float64{1, 2, 4, 6, 8, 12, 24}
 var estimateMenuW = []float64{4, 5, 6, 40, 5, 8, 6}
 
 // Generate produces the native job log for p, deterministically from seed.
-// Jobs are returned in submit order with IDs 1..Jobs. An invalid profile is
-// reported as an error, never a panic — callers with profiles known valid
-// by construction can use MustGenerate.
+// Jobs are returned in submit order with IDs 1..Jobs. An invalid profile or
+// a failed arrival calibration is reported as an error, never a panic —
+// callers with profiles known valid by construction can use MustGenerate.
+//
+// Generate is a materializing wrapper over NewStream; the two emit
+// bit-identical job sequences for the same profile and seed.
 func Generate(p Profile, seed int64) ([]*job.Job, error) {
-	if err := p.Validate(); err != nil {
+	s, err := NewStream(p, seed)
+	if err != nil {
 		return nil, err
 	}
-	r := rng.New(seed)
-	arr := arrivals(p, r)
-	jobs := make([]*job.Job, p.Jobs)
-	sigma := rng.LogNormalSigmaForMean(p.RuntimeMedianH, p.RuntimeMeanH)
-	estMenu := rng.NewDiscrete(estimateMenuH, estimateMenuW)
-	sizeMenu := rng.NewDiscrete(smallSizes, smallWeights)
-
-	for i := 0; i < p.Jobs; i++ {
-		user := fmt.Sprintf("u%02d", zipfIndex(r, p.Users))
-		group := fmt.Sprintf("g%02d", zipfIndex(r, p.Groups))
-		cpus := p.sampleCPUs(r, sizeMenu)
-		rt := p.sampleRuntime(r, sigma)
-		if p.RTSizeCorr > 0 && cpus > p.TailCPUMin {
-			// Big jobs run longer on these machines; couple mildly.
-			rt = sim.Time(float64(rt) * math.Pow(float64(cpus)/float64(p.TailCPUMin), p.RTSizeCorr))
+	jobs := make([]*job.Job, 0, s.Total())
+	for {
+		j, ok := s.Next()
+		if !ok {
+			return jobs, nil
 		}
-		jobs[i] = job.New(i+1, user, group, cpus, rt, 0, arr[i])
+		jobs = append(jobs, j)
 	}
-
-	scaleToTargetArea(p, jobs)
-	for _, j := range jobs {
-		j.Estimate = sampleEstimate(r, estMenu, j.Runtime)
-	}
-	jobs = append(jobs, p.outageJobs(len(jobs))...)
-	sortBySubmit(jobs)
-	return jobs, nil
 }
 
 // MustGenerate is Generate for profiles that are valid by construction
@@ -223,32 +232,6 @@ func (p Profile) outageJobs(nextID int) []*job.Job {
 		out = append(out, j)
 	}
 	return out
-}
-
-// sortBySubmit restores submit order after outage injection. The sort is
-// stable so equal-submit jobs keep generation order.
-func sortBySubmit(jobs []*job.Job) {
-	sort.SliceStable(jobs, func(i, k int) bool { return jobs[i].Submit < jobs[k].Submit })
-}
-
-// zipfIndex returns an index in [0,n) with a Zipf-ish activity skew, so a
-// few users/groups dominate submissions as on real machines.
-func zipfIndex(r *rand.Rand, n int) int {
-	// Inverse-power sampling: weight(i) ~ 1/(i+1)^0.8.
-	u := r.Float64()
-	// Precomputing per-call is fine at these scales; n <= ~100.
-	total := 0.0
-	for i := 0; i < n; i++ {
-		total += math.Pow(float64(i+1), -0.8)
-	}
-	x := u * total
-	for i := 0; i < n; i++ {
-		x -= math.Pow(float64(i+1), -0.8)
-		if x < 0 {
-			return i
-		}
-	}
-	return n - 1
 }
 
 // sampleCPUs draws a job size: a small power of two, or a large job from
@@ -322,115 +305,26 @@ func sampleEstimate(r *rand.Rand, menu *rng.Discrete, rt sim.Time) sim.Time {
 	return est
 }
 
-// scaleToTargetArea rescales runtimes so the log's total CPU-seconds equal
-// TargetUtil x CPUs x Duration — the offered load matching the measured
-// utilization. Long-tail draws are preserved in shape; only the scale
-// moves.
-func scaleToTargetArea(p Profile, jobs []*job.Job) {
-	var area float64
-	for _, j := range jobs {
-		area += float64(j.CPUs) * float64(j.Runtime)
+// fmod86400 is math.Mod(t, 86400) for non-negative t without the general
+// fmod's per-bit reduction loop, which shows up in profiles of decade-long
+// streamed logs (t ~ 1e9, called a few times per arrival candidate). The
+// true remainder of any float64 division is exactly representable, so the
+// subtraction below is exact once k is the true floor; the guards repair
+// the one-off cases where the rounded quotient straddles a day boundary.
+func fmod86400(t float64) float64 {
+	k := math.Floor(t / 86400)
+	r := t - k*86400
+	if r < 0 {
+		r = t - (k-1)*86400
+	} else if r >= 86400 {
+		r = t - (k+1)*86400
 	}
-	target := p.TargetUtil * float64(p.Machine.CPUs) * float64(p.Duration())
-	if area <= 0 {
-		return
-	}
-	f := target / area
-	for _, j := range jobs {
-		rt := sim.Time(float64(j.Runtime) * f)
-		if rt < 30 {
-			rt = 30
-		}
-		j.Runtime = rt
-	}
-}
-
-// arrivals generates exactly p.Jobs submit times inside the log horizon
-// with diurnal, weekly, and ON/OFF burst modulation. The base rate is
-// calibrated by retrying (the modulation's long-run mean is workload-
-// dependent), and an overshoot is corrected by uniform subsampling —
-// which, unlike rescaling time, preserves the time-of-day and day-of-week
-// phase of every arrival.
-func arrivals(p Profile, r *rand.Rand) []sim.Time {
-	horizon := float64(p.Duration()) * 0.98
-	base := float64(p.Jobs) / horizon
-	for attempt := 0; attempt < 6; attempt++ {
-		times := arrivalSweep(p, r, base, horizon)
-		if len(times) < p.Jobs {
-			// Undershoot: raise the base rate proportionally and retry.
-			got := len(times)
-			if got < 1 {
-				got = 1
-			}
-			base *= float64(p.Jobs) / float64(got) * 1.05
-			continue
-		}
-		// Overshoot: keep a uniform subsample of exactly p.Jobs arrivals.
-		if len(times) > p.Jobs {
-			perm := r.Perm(len(times))[:p.Jobs]
-			kept := make([]sim.Time, p.Jobs)
-			for i, idx := range perm {
-				kept[i] = times[idx]
-			}
-			times = kept
-			sortTimes(times)
-		}
-		return times
-	}
-	panic("workload: arrival calibration failed to converge")
-}
-
-// arrivalSweep runs one thinning pass over the horizon at the given base
-// rate and returns however many arrivals it produced (sorted).
-func arrivalSweep(p Profile, r *rand.Rand, base, horizon float64) []sim.Time {
-	// ON/OFF burst state: bursts multiply the rate by burstGain.
-	burstGain := 1 + 5*p.Burstiness
-	onMean := 2 * 3600.0   // bursts last ~2h
-	offMean := 10 * 3600.0 // spaced ~10h apart
-	on := false
-	phaseLeft := rng.Exponential(r, offMean)
-
-	// Thinning against the maximum possible instantaneous rate.
-	maxRate := base * 1.8 * 1.15 * burstGain
-	var times []sim.Time
-	t := 0.0
-	for t < horizon {
-		dt := rng.Exponential(r, 1/maxRate)
-		t += dt
-		phaseLeft -= dt
-		for phaseLeft <= 0 {
-			on = !on
-			if on {
-				phaseLeft += rng.Exponential(r, onMean)
-			} else {
-				phaseLeft += rng.Exponential(r, offMean)
-			}
-		}
-		rate := base * diurnal(t) * weekly(t)
-		if on {
-			rate *= burstGain
-		} else {
-			// Compensate so the long-run mean stays near base.
-			rate *= 1 - 0.4*p.Burstiness
-		}
-		if rate > maxRate {
-			rate = maxRate
-		}
-		if t < horizon && r.Float64() < rate/maxRate {
-			times = append(times, sim.Time(t))
-		}
-	}
-	return times
-}
-
-// sortTimes sorts a time slice ascending.
-func sortTimes(ts []sim.Time) {
-	sort.Slice(ts, func(i, k int) bool { return ts[i] < ts[k] })
+	return r
 }
 
 // diurnal modulates submission rate by time of day: office hours dominate.
 func diurnal(t float64) float64 {
-	tod := math.Mod(t, 86400) / 3600 // hour of day
+	tod := fmod86400(t) / 3600 // hour of day
 	switch {
 	case tod >= 9 && tod < 18:
 		return 1.8

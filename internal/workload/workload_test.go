@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 
@@ -296,5 +297,29 @@ func TestArrivalsFollowWeeklyCycle(t *testing.T) {
 	perWeekendDay := float64(weekend) / 2
 	if perWeekday < 1.5*perWeekendDay {
 		t.Fatalf("weekly cycle too weak: %.0f/day weekday vs %.0f/day weekend", perWeekday, perWeekendDay)
+	}
+}
+
+// TestFmod86400MatchesMathMod pins the fast day-remainder to the stdlib
+// bit-for-bit across magnitudes (decade-scale clocks, day boundaries,
+// values straddling a boundary by one ulp).
+func TestFmod86400MatchesMathMod(t *testing.T) {
+	cases := []float64{
+		0, 1, 86399.999, 86400, 86400.0001, 172800,
+		12345.678, 1e6 + 0.25, 1e9 + 43200.5, 9.1e8,
+	}
+	for d := 0; d < 4000; d++ {
+		b := float64(d) * 86400
+		cases = append(cases, b, math.Nextafter(b, 0), math.Nextafter(b, math.Inf(1)), b+43200.125)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 100000; i++ {
+		cases = append(cases, r.Float64()*1e10)
+	}
+	for _, x := range cases {
+		want := math.Mod(x, 86400)
+		if got := fmod86400(x); got != want {
+			t.Fatalf("fmod86400(%v) = %v, want %v", x, got, want)
+		}
 	}
 }
