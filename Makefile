@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover bench bench-sched fuzz paper extensions examples trace-demo clean
+.PHONY: all build test cover bench bench-sched bench-fed fuzz paper extensions examples trace-demo clean
 
 all: build test
 
@@ -49,11 +49,19 @@ bench-sched:
 	$(GO) test -run '^$$' -bench '^(BenchmarkSimKernel|BenchmarkSchedulePass|BenchmarkProfileEarliestFit|BenchmarkRebuildFromRunning)' \
 		-benchmem -count $(BENCHCOUNT) ./internal/profile/ ./internal/sched/ .
 
-# Each fuzz target gets its own run (go test allows one -fuzz at a time);
-# both are seeded from checked-in corpus files under testdata/fuzz.
+# Federation routing microbenchmarks — one routing decision and one
+# steal-matching pass over a 64-shard fleet view. Guarded by the CI
+# bench-regression gate.
+bench-fed:
+	$(GO) test -run '^$$' -bench '^(BenchmarkFederationRoute|BenchmarkFederationSteal)$$' \
+		-benchmem -count $(BENCHCOUNT) ./internal/federation/
+
+# Each fuzz target gets its own run (go test allows one -fuzz at a time).
 fuzz:
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzMachineByName -fuzztime 30s .
+	$(GO) test -fuzz FuzzRoutePolicy -fuzztime 30s ./internal/federation/
+	$(GO) test -fuzz FuzzScheduleConfig -fuzztime 30s ./internal/faults/
 
 # Regenerate the paper at full scale (~4 min) and the extension studies.
 paper:

@@ -3,7 +3,8 @@
 // Usage:
 //
 //	experiments [-seed N] [-scale F] [-reps N] [-samples N] [-workers N]
-//	            [-timeout D] [-csv dir] [-metrics] [-metrics-json file]
+//	            [-fleet N] [-route policy] [-timeout D] [-csv dir]
+//	            [-metrics] [-metrics-json file]
 //	            [-pprof addr] [-trace file [-trace-format f] [-trace-sample N]]
 //	            [names...]
 //
@@ -46,7 +47,14 @@
 //	figure4 figure4-outages figure5 figure6 table7 table8ross table8limited
 //	ablation-{estimates,backfill,burstiness,joblength,jobwidth,capsweep,preemption,
 //	prediction} utilization-sweep validate-sampling seed-robustness correlations
-//	scale-stream
+//	scale-stream federation
+//
+// The federation study routes one interstitial stream across a fleet of
+// simulated machines. -fleet restricts it to one fleet size and -route to
+// one routing policy (random, round-robin, least-loaded, locality[:spread=N],
+// work-stealing[:batch=N,victim=max|random]); by default it sweeps the
+// whole policy x fleet-size grid. Its output is byte-identical at any
+// -workers and ends each row with the retirement digest CI compares.
 package main
 
 import (
@@ -61,6 +69,7 @@ import (
 	"time"
 
 	"interstitial/internal/experiments"
+	"interstitial/internal/federation"
 	"interstitial/internal/tracing"
 )
 
@@ -78,6 +87,8 @@ func main() {
 	reps := flag.Int("reps", 0, "random project starts per cell (default 20)")
 	samples := flag.Int("samples", 0, "short-term windows sampled from continual runs (default 500)")
 	workers := flag.Int("workers", 0, "parallelism across and within experiments (default GOMAXPROCS)")
+	fleet := flag.Int("fleet", 0, "federation experiment: fleet size in machines (default: the size grid)")
+	route := flag.String("route", "", "federation experiment: routing policy (default: every policy)")
 	csvDir := flag.String("csv", "", "also write each experiment's data points as <dir>/<name>.csv")
 	metrics := flag.Bool("metrics", false, "dump the metric registry and per-experiment timing to stderr after the run")
 	metricsJSON := flag.String("metrics-json", "", "also archive the final metrics snapshot as JSON to this file")
@@ -100,6 +111,8 @@ func main() {
 		usageError("-samples %d is negative", *samples)
 	case *workers < 0:
 		usageError("-workers %d is negative", *workers)
+	case *fleet < 0:
+		usageError("-fleet %d is negative", *fleet)
 	case *timeout < 0:
 		usageError("-timeout %v is negative", *timeout)
 	case formatErr != nil:
@@ -110,6 +123,11 @@ func main() {
 		usageError("-trace-format without -trace")
 	case *traceSample > 0 && *tracePath == "":
 		usageError("-trace-sample without -trace")
+	}
+	if *route != "" {
+		if _, err := federation.ParsePolicy(*route); err != nil {
+			usageError("-route: %v", err)
+		}
 	}
 	if *list {
 		for _, n := range experiments.AllNames() {
@@ -130,7 +148,8 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Samples: *samples, Workers: *workers, Ctx: ctx}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Reps: *reps, Samples: *samples,
+		Workers: *workers, FleetSize: *fleet, Route: *route, Ctx: ctx}
 	lab := experiments.NewLab(opts)
 	reg := experiments.NewRegistry(lab)
 	var collector *tracing.Collector

@@ -23,6 +23,12 @@ type Controller struct {
 	// Limit caps the number of jobs ever submitted; Limit <= 0 means
 	// continual (unbounded) submission.
 	Limit int
+	// Metered makes Limit a strict entitlement even at zero: Remaining
+	// reports exactly max(0, Limit-created) instead of treating a
+	// nonpositive Limit as continual. A federation router grants work to
+	// a shard by raising Limit between barriers, so a shard holding no
+	// grant yet must submit nothing rather than run unbounded.
+	Metered bool
 	// StartAt / StopAt bound the submission window. Jobs are never
 	// submitted outside [StartAt, StopAt].
 	StartAt sim.Time
@@ -163,8 +169,16 @@ func (c *Controller) SetState(st State) {
 
 // Remaining reports how many fresh jobs the controller may still submit;
 // -1 means unlimited. Continuation jobs resubmitted after preemption do
-// not count against the limit (they are the same work units).
+// not count against the limit (they are the same work units). A Metered
+// controller never reports unlimited: its Limit is an entitlement and
+// Remaining is exactly the unconsumed part of it.
 func (c *Controller) Remaining() int {
+	if c.Metered {
+		if n := c.Limit - c.created; n > 0 {
+			return n
+		}
+		return 0
+	}
 	if c.Limit <= 0 {
 		return -1
 	}

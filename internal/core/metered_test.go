@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"interstitial/internal/engine"
+	"interstitial/internal/job"
+)
+
+// TestMeteredRemaining: with Metered set, Limit is a strict entitlement —
+// zero means zero, and Remaining never goes negative even after the
+// controller overshoots (e.g. a Limit lowered mid-run).
+func TestMeteredRemaining(t *testing.T) {
+	c := NewController(JobSpec{CPUs: 4, Runtime: 100})
+	c.Metered = true
+	if got := c.Remaining(); got != 0 {
+		t.Fatalf("Metered Limit=0 Remaining = %d, want 0", got)
+	}
+	c.Limit = 3
+	if got := c.Remaining(); got != 3 {
+		t.Fatalf("Metered Limit=3 Remaining = %d, want 3", got)
+	}
+	c.created = 5
+	if got := c.Remaining(); got != 0 {
+		t.Fatalf("Metered overshoot Remaining = %d, want 0 (not negative)", got)
+	}
+	// Unmetered keeps the historical contract: Limit<=0 means unlimited.
+	c.Metered = false
+	c.Limit, c.created = 0, 5
+	if got := c.Remaining(); got != -1 {
+		t.Fatalf("unmetered Limit=0 Remaining = %d, want -1 (unlimited)", got)
+	}
+}
+
+// TestMeteredControllerAdmitsExactlyLimit: a metered controller on an idle
+// machine admits precisely its entitlement, and raising Limit later (the
+// federation grant path) admits precisely the increment.
+func TestMeteredControllerAdmitsExactlyLimit(t *testing.T) {
+	s := newSim(100)
+	c := NewController(JobSpec{CPUs: 10, Runtime: 50})
+	c.Metered = true
+	c.Limit = 4
+	c.DiscardRecords = true
+	done := 0
+	s.SetRetire(func(j *job.Job) {
+		if j.Class == job.Interstitial {
+			done++
+		}
+	})
+	attach(t, c, s)
+	s.Submit(job.New(1, "u", "g", 1, 10, 10, 0))
+	s.Run()
+	if done != 4 {
+		t.Fatalf("metered Limit=4 completed %d interstitial jobs", done)
+	}
+
+	// Grant 3 more and wake the scheduler, as the federation router does
+	// between barriers.
+	now := s.Now()
+	c.Limit += 3
+	s.ScheduleAt(now, func(sm *engine.Simulator) { sm.RequestPassAt(now) })
+	s.Run()
+	if done != 7 {
+		t.Fatalf("after +3 grant completed %d interstitial jobs, want 7", done)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// renderFederation runs the federation study at a tiny scale and returns
+// the rendered bytes.
+func renderFederation(t *testing.T, workers int) string {
+	t.Helper()
+	l := NewLab(Options{Seed: 3, Scale: 0.01, Workers: workers, FleetSize: 4})
+	res, err := Federation(l)
+	if err != nil {
+		t.Fatalf("Federation: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	return buf.String()
+}
+
+// TestFederationExperimentDeterministic: the rendered study is
+// byte-identical at any worker count — the same contract every other
+// experiment holds, now across nested shard parallelism.
+func TestFederationExperimentDeterministic(t *testing.T) {
+	serial := renderFederation(t, 1)
+	parallel := renderFederation(t, 4)
+	if serial != parallel {
+		t.Fatalf("rendered output diverged between workers=1 and workers=4:\n%s\n---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "digest ") {
+		t.Fatalf("no digest column in output:\n%s", serial)
+	}
+	// Every policy row must have routed and completed work.
+	for _, line := range strings.Split(serial, "\n") {
+		if strings.Contains(line, "digest 0000000000000000") {
+			t.Fatalf("empty digest row: %q", line)
+		}
+	}
+}
+
+// TestFederationExperimentRestricted: Options.FleetSize and Options.Route
+// narrow the grid to one cell.
+func TestFederationExperimentRestricted(t *testing.T) {
+	l := NewLab(Options{Seed: 3, Scale: 0.01, Workers: 2, FleetSize: 3, Route: "least-loaded"})
+	res, err := Federation(l)
+	if err != nil {
+		t.Fatalf("Federation: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Fleet != 3 || res.Rows[0].Policy != "least-loaded" {
+		t.Fatalf("restricted grid produced %+v", res.Rows)
+	}
+	if res.Rows[0].Done == 0 || res.Rows[0].Units == 0 {
+		t.Fatalf("vacuous cell: %+v", res.Rows[0])
+	}
+	// Bad routes surface as errors, not panics.
+	bad := NewLab(Options{Seed: 3, Scale: 0.01, Route: "bogus"})
+	if _, err := Federation(bad); err == nil {
+		t.Fatalf("bogus route accepted")
+	}
+}
+
+// TestFederationExperimentCSV: the CSV dump has one line per row plus a
+// header.
+func TestFederationExperimentCSV(t *testing.T) {
+	l := NewLab(Options{Seed: 3, Scale: 0.01, Workers: 2, FleetSize: 2, Route: "round-robin"})
+	res, err := Federation(l)
+	if err != nil {
+		t.Fatalf("Federation: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.CSV(&buf); err != nil {
+		t.Fatalf("CSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(res.Rows) {
+		t.Fatalf("CSV has %d lines for %d rows:\n%s", len(lines), len(res.Rows), buf.String())
+	}
+}

@@ -53,6 +53,12 @@ type Options struct {
 	// all randomness is derived from (Seed, replication index), never from
 	// scheduling order.
 	Workers int
+	// FleetSize restricts the federation experiment to one fleet size
+	// (number of simulated machines). Zero runs the default size grid.
+	FleetSize int
+	// Route restricts the federation experiment to one routing policy
+	// (a federation.ParsePolicy string). Empty runs every policy.
+	Route string
 	// Ctx, when non-nil, bounds every simulation the lab runs: once it is
 	// cancelled, in-flight simulations abort cooperatively (within ~4096
 	// kernel events), queued cells are skipped, and RunAll reports the

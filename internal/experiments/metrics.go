@@ -48,6 +48,11 @@ type labMetrics struct {
 	traceEmitted *obs.Counter
 	traceDropped *obs.Counter
 
+	fedUnits      *obs.Counter
+	fedSteals     *obs.Counter
+	fedMigrations *obs.Counter
+	fedShardUtil  *obs.Histogram
+
 	timings *obs.Timings
 }
 
@@ -87,6 +92,12 @@ func newLabMetrics() *labMetrics {
 
 		traceEmitted: reg.Counter("trace_events_emitted_total", "scheduler decision events emitted by tracing"),
 		traceDropped: reg.Counter("trace_events_dropped_total", "emitted trace events discarded by the sample budget"),
+
+		fedUnits:      reg.Counter("fed_units_routed_total", "interstitial work units routed to federation shards"),
+		fedSteals:     reg.Counter("fed_units_stolen_total", "routed units moved between shards by work stealing"),
+		fedMigrations: reg.Counter("fed_migrations_total", "home-shard moves made by the locality routing policy"),
+		fedShardUtil: reg.Histogram("fed_shard_utilization", "per-shard overall utilization across federated runs",
+			[]float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0}),
 
 		timings: &obs.Timings{},
 	}

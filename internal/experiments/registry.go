@@ -62,7 +62,7 @@ func ExtensionNames() []string {
 		"ablation-joblength", "ablation-jobwidth", "ablation-guard", "ablation-capsweep",
 		"ablation-preemption", "ablation-prediction", "utilization-sweep",
 		"validate-sampling", "seed-robustness", "correlations", "figure4-outages",
-		"faults-sensitivity", "scale-stream"}
+		"faults-sensitivity", "scale-stream", "federation"}
 }
 
 // AllNames lists every runnable experiment, sorted.
@@ -191,6 +191,8 @@ func (g *Registry) runOn(l *Lab, name string) (Renderer, error) {
 		return FaultsSensitivity(l), nil
 	case "scale-stream":
 		return ScaleStream(l)
+	case "federation":
+		return Federation(l)
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q (valid: %v)", name, AllNames())
 }

@@ -58,7 +58,9 @@ func (c Config) Validate() error {
 	if c.MeanRepair <= 0 {
 		return fmt.Errorf("faults: MeanRepair %d with outages enabled", c.MeanRepair)
 	}
-	if c.LossFrac <= 0 || c.LossFrac > 1 {
+	if !(c.LossFrac > 0) || c.LossFrac > 1 {
+		// The negated form also rejects NaN, which satisfies neither
+		// comparison.
 		return fmt.Errorf("faults: LossFrac %v out of (0,1]", c.LossFrac)
 	}
 	return nil

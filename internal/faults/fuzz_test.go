@@ -1,0 +1,56 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"interstitial/internal/sim"
+)
+
+// FuzzScheduleConfig drives NewSchedule with arbitrary configurations and
+// checks the structural invariants of every schedule it accepts: NewSchedule
+// errors exactly when Validate does, outages are sorted and inside the
+// horizon, each loses between 1 and totalCPUs CPUs, and durations respect
+// the 60-second flap floor.
+func FuzzScheduleConfig(f *testing.F) {
+	f.Add(int64(1), 4*3600.0, 1800.0, 0.1, 7*86400.0, 1024)
+	f.Add(int64(2), 0.0, 0.0, 0.0, 86400.0, 64)      // disabled
+	f.Add(int64(3), 3600.0, -1.0, 0.5, 86400.0, 64)  // bad repair
+	f.Add(int64(4), 3600.0, 1800.0, 1.5, 86400.0, 8) // bad loss
+	f.Add(int64(5), 3600.0, 1800.0, math.NaN(), 86400.0, 8)
+	f.Add(int64(6), 120.0, 30.0, 1.0, 86400.0, 1)
+	f.Fuzz(func(t *testing.T, seed int64, mtbf, repair, loss, horizon float64, cpus int) {
+		// Bound the schedule size: tiny MTBFs or huge horizons make the
+		// outage list arbitrarily long without testing anything new.
+		if mtbf != 0 && (math.Abs(mtbf) < 60 || !(mtbf < 1e12)) {
+			t.Skip()
+		}
+		if !(horizon < 30*86400) || !(repair < 1e12) {
+			t.Skip()
+		}
+		cfg := Config{Seed: seed, MTBF: sim.Time(mtbf), MeanRepair: sim.Time(repair), LossFrac: loss}
+		s, err := NewSchedule(cfg, sim.Time(horizon), cpus)
+		if verr := cfg.Validate(); (err != nil) != (verr != nil) {
+			t.Fatalf("NewSchedule err %v but Validate err %v for %+v", err, verr, cfg)
+		}
+		if err != nil {
+			return
+		}
+		prev := sim.Time(-1)
+		for i, o := range s {
+			if o.At < prev {
+				t.Fatalf("outage %d at %d before predecessor %d", i, o.At, prev)
+			}
+			prev = o.At
+			if o.At < 0 || o.At >= sim.Time(horizon) {
+				t.Fatalf("outage %d onset %d outside [0,%v)", i, o.At, horizon)
+			}
+			if o.CPUs < 1 || o.CPUs > cpus {
+				t.Fatalf("outage %d loses %d of %d CPUs", i, o.CPUs, cpus)
+			}
+			if o.Duration < 60 {
+				t.Fatalf("outage %d duration %d under the 60s floor", i, o.Duration)
+			}
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package federation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchView builds a synthetic barrier snapshot: half the shards idle,
+// half backlogged — the shape that exercises both the routing argmin scan
+// and the steal matching.
+func benchView(n int) *View {
+	v := &View{UnitCPUs: 16, Shards: make([]ShardView, n)}
+	for i := range v.Shards {
+		s := ShardView{Index: i, CPUs: 1000, ClockGHz: 0.5}
+		if i%2 == 0 {
+			s.Free, s.Busy = 1000, 0
+		} else {
+			s.Free, s.Busy, s.Backlog = 200, 800, 4+i%7
+		}
+		v.Shards[i] = s
+	}
+	return v
+}
+
+// BenchmarkFederationRoute measures one least-loaded routing decision over
+// a 64-shard fleet view — the per-unit cost of the barrier's hot loop.
+func BenchmarkFederationRoute(b *testing.B) {
+	v := benchView(64)
+	p := leastLoaded{}
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Pick(v, r)
+	}
+}
+
+// BenchmarkFederationSteal measures one full steal-matching pass over a
+// 64-shard fleet view with 32 idle thieves and 32 backlogged victims.
+func BenchmarkFederationSteal(b *testing.B) {
+	v := benchView(64)
+	p := &workStealing{batch: 8, victim: "max"}
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Steals(v, r)
+	}
+}

@@ -1,0 +1,609 @@
+// Package federation simulates a fleet of machines serving one
+// interstitial stream. Each machine is a shard — its own engine, queueing
+// policy, native workload stream, fault schedule, and RNG stream — and a
+// global router grants interstitial work units to shards under a pluggable
+// routing policy (random, round-robin, least-loaded, locality-aware,
+// work-stealing).
+//
+// Shards advance in parallel between deterministic epoch barriers. At a
+// barrier the fleet (single-threaded) merges every shard's retired records
+// in shard-index order, snapshots a routing View, and applies the next
+// epoch's grants and steals as entitlement deltas on each shard's metered
+// controller — the ddtxn coordinator shape: partitioned state, all
+// cross-shard reads and writes at the merge step. Work units are fungible
+// (the paper's interstitial jobs are identical), so routing k units to a
+// shard is raising its controller's Limit by k, and stealing moves that
+// entitlement between shards; shard-local admission stays the exact
+// Figure 1 algorithm.
+//
+// Determinism contract: the retirement stream — and therefore Digest —
+// is byte-identical for any Runner (any worker count, any shard execution
+// order). Shard state is touched only by its own goroutine between
+// barriers and only by the fleet goroutine at barriers; the router RNG is
+// consumed only at barriers, in shard/unit order; per-shard randomness
+// comes from rng.DeriveSeed streams. Records retire through the engine's
+// SetRetire path and are dropped after each merge, so a 100+ machine
+// fleet holds O(active jobs + one epoch's retirements) in memory.
+package federation
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"interstitial/internal/core"
+	"interstitial/internal/engine"
+	"interstitial/internal/faults"
+	"interstitial/internal/job"
+	"interstitial/internal/rng"
+	"interstitial/internal/sched"
+	"interstitial/internal/sim"
+	"interstitial/internal/stats"
+	"interstitial/internal/tracing"
+	"interstitial/internal/workload"
+)
+
+// Machine is one fleet member: a native workload profile (which embeds
+// the hardware config) plus the machine's queueing policy.
+type Machine struct {
+	Profile   workload.Profile
+	NewPolicy func() sched.Policy
+	// Seed drives the machine's native workload stream; zero derives a
+	// per-shard stream from the fleet seed.
+	Seed int64
+}
+
+// UnitSpec describes the identical interstitial work units the fleet
+// routes, in the paper's machine-neutral normalization.
+type UnitSpec struct {
+	CPUs        int
+	Seconds1GHz float64
+}
+
+// JobSpec converts the unit into a concrete job spec on a machine of the
+// given clock rate (same rounding as testbed.Seconds1GHz).
+func (u UnitSpec) JobSpec(clockGHz float64) core.JobSpec {
+	return core.JobSpec{CPUs: u.CPUs, Runtime: sim.Time(u.Seconds1GHz/clockGHz + 0.5)}
+}
+
+// Config assembles a fleet.
+type Config struct {
+	// Machines are the shards, in fleet order. Must be non-empty.
+	Machines []Machine
+	// Policy routes work units to shards; nil defaults to round-robin.
+	// Ignored in saturate mode (Demand <= 0).
+	Policy Policy
+	// Epoch is the barrier interval in simulated seconds (default 3600).
+	Epoch sim.Time
+	// Unit is the interstitial work unit being routed.
+	Unit UnitSpec
+	// Demand is the offered interstitial load as a fraction of the
+	// fleet's total capacity: each epoch the router grants
+	// Demand * capacity / unitCost fresh units (fractions carry over).
+	// Demand <= 0 selects saturate mode: every shard runs an unmetered
+	// continual controller and no routing happens — each machine
+	// independently soaks up its own spare cycles, the paper's
+	// single-machine model replicated N times.
+	Demand float64
+	// Faults, when enabled (MTBF > 0), arms a per-shard outage schedule
+	// derived from Faults.Seed and the shard index.
+	Faults faults.Config
+	// Seed drives the router RNG and the derived per-shard streams.
+	Seed int64
+	// StreamBuffer bounds each shard's materialized native jobs
+	// (engine.SubmitStream; <= 0 selects the engine default).
+	StreamBuffer int
+	// Runner executes fn(0..n-1), possibly in parallel; nil runs
+	// serially. The runner must establish happens-before between the
+	// caller and every fn call (any WaitGroup/channel-based pool does).
+	// Output is byte-identical for every runner.
+	Runner func(n int, fn func(i int))
+	// Retire, when set, receives every retired record at the merge
+	// barrier, in shard-index order and per-shard completion order —
+	// the fleet-level streaming sink. Records are not retained after.
+	Retire func(shard int, j *job.Job)
+	// Tracer, when set, records every routing decision (KindRoute) and
+	// steal (KindSteal); it is used only at barriers. ShardTracer, when
+	// set, supplies each shard's engine tracer.
+	Tracer      *tracing.Tracer
+	ShardTracer func(shard int) *tracing.Tracer
+	// Ctx, when non-nil, aborts the fleet cooperatively mid-epoch.
+	Ctx context.Context
+}
+
+// shard is one machine under simulation plus its merge-side bookkeeping.
+// Between barriers it is owned by exactly one runner goroutine; at
+// barriers, by the fleet goroutine.
+type shard struct {
+	idx     int
+	name    string
+	sm      *engine.Simulator
+	ctrl    *core.Controller
+	inj     *faults.Injector
+	horizon sim.Time
+	clock   float64
+	cpus    int
+
+	// buf collects the epoch's retired records (engine retire hook, shard
+	// goroutine); the fleet drains it at the merge barrier.
+	buf []*job.Job
+	// grantTimes is the FIFO of grant instants for unit-latency tracking:
+	// pushed per granted unit, moved tail-first on steals, popped per
+	// interstitial retirement. Approximate when faults evict units into
+	// continuations (a continuation pops nothing if its unit already
+	// popped — the FIFO guard below keeps it safe).
+	grantTimes []sim.Time
+
+	st ShardStats
+}
+
+// ShardStats is one shard's share of the fleet outcome.
+type ShardStats struct {
+	Machine string
+	CPUs    int
+	// Granted counts fresh units routed here; StolenIn/StolenOut the
+	// entitlement moved by barrier steals.
+	Granted   int64
+	StolenIn  int64
+	StolenOut int64
+	// Done and CPU-second splits, from the retirement stream.
+	NativeDone        int64
+	InterstDone       int64
+	NativeCPUSeconds  float64
+	InterstCPUSeconds float64
+	// Utilization over the shard's whole run window [0, Now].
+	Utilization float64
+	NativeUtil  float64
+	// Fault outcome (zero without faults).
+	Struck  int
+	Evicted int
+}
+
+// Stats is the fleet-level outcome.
+type Stats struct {
+	Barriers    int64
+	Units       int64 // fresh units granted
+	Steals      int64 // steal operations applied
+	StolenUnits int64
+	Migrations  int64 // locality-policy home moves
+	NativeDone  int64
+	InterstDone int64
+	Shards      []ShardStats
+}
+
+// Stat is a one-pass summary of a latency/wait distribution.
+type Stat = stats.Summary
+
+// Fleet is a configured federation run. Build with New, drive with Run,
+// then read Digest/Stats/UnitLatency/NativeWait.
+type Fleet struct {
+	cfg     Config
+	ctx     context.Context
+	pol     Policy
+	shards  []*shard
+	r       *rand.Rand // router RNG; consumed only at barriers
+	horizon sim.Time
+	metered bool
+
+	view    View
+	carry   float64
+	unitSeq int64
+
+	digest  Digest64
+	waits   *stats.StreamSummary // native queue waits, seconds
+	unitLat *stats.StreamSummary // grant-to-retire unit latency, seconds
+	stats   Stats
+	ran     bool
+}
+
+// New validates the configuration and builds every shard: engine, metered
+// controller, native stream, fault schedule. An empty fleet is an error,
+// not a degenerate success — a router with nowhere to route is a
+// misconfiguration the caller must see.
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Machines) == 0 {
+		return nil, fmt.Errorf("federation: empty fleet (no machines)")
+	}
+	if cfg.Unit.CPUs < 1 || cfg.Unit.Seconds1GHz <= 0 {
+		return nil, fmt.Errorf("federation: invalid unit spec %+v", cfg.Unit)
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 3600
+	}
+	if cfg.Ctx == nil {
+		cfg.Ctx = context.Background()
+	}
+	metered := cfg.Demand > 0
+	pol := cfg.Policy
+	if pol == nil {
+		pol = &roundRobin{}
+	}
+	f := &Fleet{
+		cfg:     cfg,
+		ctx:     cfg.Ctx,
+		pol:     pol,
+		metered: metered,
+		r:       rng.New(rng.DeriveSeed(cfg.Seed, 1<<33)),
+		digest:  NewDigest(),
+		waits:   stats.NewStreamSummary(),
+		unitLat: stats.NewStreamSummary(),
+	}
+	for i, m := range cfg.Machines {
+		p := m.Profile
+		horizon := p.Duration()
+		seed := m.Seed
+		if seed == 0 {
+			seed = rng.DeriveSeed(cfg.Seed, uint64(i))
+		}
+		src, err := workload.NewStream(p, seed)
+		if err != nil {
+			return nil, fmt.Errorf("federation: shard %d (%s): %w", i, p.Machine.Name, err)
+		}
+		sm := engine.New(p.Machine, m.NewPolicy())
+		sm.SetContext(cfg.Ctx)
+		if cfg.ShardTracer != nil {
+			sm.SetTracer(cfg.ShardTracer(i))
+		}
+		sh := &shard{
+			idx: i, name: p.Machine.Name, sm: sm,
+			horizon: horizon, clock: p.Machine.ClockGHz, cpus: p.Machine.CPUs,
+			st: ShardStats{Machine: p.Machine.Name, CPUs: p.Machine.CPUs},
+		}
+		sm.SetRetire(func(j *job.Job) { sh.buf = append(sh.buf, j) })
+		ctrl := core.NewController(cfg.Unit.JobSpec(p.Machine.ClockGHz))
+		ctrl.StopAt = horizon
+		ctrl.DiscardRecords = true
+		ctrl.Metered = metered
+		if err := ctrl.Attach(sm); err != nil {
+			return nil, fmt.Errorf("federation: shard %d (%s): %w", i, p.Machine.Name, err)
+		}
+		sh.ctrl = ctrl
+		if cfg.Faults.MTBF > 0 {
+			fc := cfg.Faults
+			fc.Seed = rng.DeriveSeed(fc.Seed, 1<<32|uint64(i))
+			outages, err := faults.NewSchedule(fc, horizon, p.Machine.CPUs)
+			if err != nil {
+				return nil, fmt.Errorf("federation: shard %d (%s): %w", i, p.Machine.Name, err)
+			}
+			sh.inj = faults.Attach(sm, outages, ctrl)
+		}
+		sm.SubmitStream(src, cfg.StreamBuffer)
+		f.shards = append(f.shards, sh)
+		if horizon > f.horizon {
+			f.horizon = horizon
+		}
+	}
+	return f, nil
+}
+
+// NumShards reports the fleet size.
+func (f *Fleet) NumShards() int { return len(f.shards) }
+
+// Sim exposes shard i's simulator for post-run observation (stats
+// folding). Do not drive it while the fleet runs.
+func (f *Fleet) Sim(i int) *engine.Simulator { return f.shards[i].sm }
+
+// Run drives the fleet to completion: epoch barriers over [0, horizon),
+// then a drain to the last event. It returns the context's error if the
+// run was interrupted (results are then partial and must be discarded).
+func (f *Fleet) Run() error {
+	if f.ran {
+		return fmt.Errorf("federation: fleet already ran")
+	}
+	f.ran = true
+	for t := sim.Time(0); t < f.horizon; t += f.cfg.Epoch {
+		if f.metered {
+			f.refreshView(t)
+			f.route(t)
+		}
+		f.advanceTo(t + f.cfg.Epoch)
+		if err := f.interrupted(); err != nil {
+			return err
+		}
+		f.merge()
+		f.stats.Barriers++
+	}
+	f.drain()
+	if err := f.interrupted(); err != nil {
+		return err
+	}
+	f.merge()
+	f.finish()
+	return nil
+}
+
+// runEach applies fn to every shard, on the configured Runner when one is
+// set. The runner's completion barrier is the epoch barrier.
+func (f *Fleet) runEach(fn func(sh *shard)) {
+	if f.cfg.Runner == nil {
+		for _, sh := range f.shards {
+			fn(sh)
+		}
+		return
+	}
+	f.cfg.Runner(len(f.shards), func(i int) { fn(f.shards[i]) })
+}
+
+func (f *Fleet) advanceTo(t sim.Time) { f.runEach(func(sh *shard) { sh.sm.RunUntil(t) }) }
+func (f *Fleet) drain()               { f.runEach(func(sh *shard) { sh.sm.Run() }) }
+
+func (f *Fleet) interrupted() error {
+	for _, sh := range f.shards {
+		if sh.sm.Interrupted() {
+			return f.ctx.Err()
+		}
+	}
+	return nil
+}
+
+// merge folds every shard's epoch retirements into the fleet accumulators
+// in shard-index order — the single-threaded coordinator step that makes
+// the fleet-level retirement stream independent of shard execution order.
+func (f *Fleet) merge() {
+	for _, sh := range f.shards {
+		for _, j := range sh.buf {
+			f.digest.Fold(sh.idx, j)
+			switch j.Class {
+			case job.Native:
+				sh.st.NativeDone++
+				f.stats.NativeDone++
+				sh.st.NativeCPUSeconds += float64(j.CPUs) * float64(j.Runtime)
+				f.waits.Add(float64(j.Start - j.Submit))
+			case job.Interstitial:
+				sh.st.InterstDone++
+				f.stats.InterstDone++
+				sh.st.InterstCPUSeconds += float64(j.CPUs) * float64(j.Runtime)
+				if len(sh.grantTimes) > 0 {
+					f.unitLat.Add(float64(j.Finish - sh.grantTimes[0]))
+					sh.grantTimes = sh.grantTimes[1:]
+				}
+			}
+		}
+		if f.cfg.Retire != nil {
+			for _, j := range sh.buf {
+				f.cfg.Retire(sh.idx, j)
+			}
+		}
+		for i := range sh.buf {
+			sh.buf[i] = nil
+		}
+		sh.buf = sh.buf[:0]
+	}
+}
+
+// refreshView rebuilds the routing view over the shards whose submission
+// window is still open at t.
+func (f *Fleet) refreshView(t sim.Time) {
+	f.view.UnitCPUs = f.cfg.Unit.CPUs
+	f.view.Shards = f.view.Shards[:0]
+	for _, sh := range f.shards {
+		if t >= sh.horizon {
+			continue
+		}
+		m := sh.sm.Machine()
+		f.view.Shards = append(f.view.Shards, ShardView{
+			Index: sh.idx, CPUs: sh.cpus, Free: m.Free(), Busy: m.Busy(),
+			ClockGHz: sh.clock, Backlog: sh.ctrl.Remaining(),
+		})
+	}
+}
+
+// route first applies the policy's steals — rebalancing entitlement
+// left queued from the previous epoch — and then grants the epoch's
+// fresh work units shard-by-shard under the policy, all as entitlement
+// deltas on the shards' metered controllers. Steals must precede the
+// grants: a barrier's fresh grants touch every routable shard, so a
+// post-grant view would never show the idle (zero-backlog) shards that
+// stealing exists to feed. Every decision happens here, on the fleet
+// goroutine, in a fixed order — the router RNG never races.
+func (f *Fleet) route(t sim.Time) {
+	if len(f.view.Shards) == 0 {
+		return
+	}
+	viewPos := make(map[int]int, len(f.view.Shards))
+	for i, s := range f.view.Shards {
+		viewPos[s.Index] = i
+	}
+	touched := make(map[int]bool)
+	if st, ok := f.pol.(Stealer); ok {
+		for _, s := range st.Steals(&f.view, f.r) {
+			if s.From == s.To || s.Units <= 0 || s.From < 0 || s.From >= len(f.shards) || s.To < 0 || s.To >= len(f.shards) {
+				continue // self-steals and malformed moves are dropped
+			}
+			from, to := f.shards[s.From], f.shards[s.To]
+			units := s.Units
+			if r := from.ctrl.Remaining(); units > r {
+				units = r
+			}
+			if units <= 0 {
+				continue
+			}
+			from.ctrl.Limit -= units
+			to.ctrl.Limit += units
+			from.st.StolenOut += int64(units)
+			to.st.StolenIn += int64(units)
+			f.stats.Steals++
+			f.stats.StolenUnits += int64(units)
+			touched[to.idx] = true
+			// Keep the view consistent for the grant loop that follows.
+			if i, ok := viewPos[s.From]; ok {
+				f.view.Shards[i].Backlog -= units
+			}
+			if i, ok := viewPos[s.To]; ok {
+				f.view.Shards[i].Backlog += units
+			}
+			// The moved entitlement's latency clock moves with it: the
+			// victim's most recent grants become the thief's newest.
+			if k := len(from.grantTimes); k > 0 {
+				m := units
+				if m > k {
+					m = k
+				}
+				to.grantTimes = append(to.grantTimes, from.grantTimes[k-m:]...)
+				from.grantTimes = from.grantTimes[:k-m]
+			}
+			if f.cfg.Tracer != nil {
+				f.cfg.Tracer.Emit(t, tracing.KindSteal, tracing.ReasonStolen,
+					s.From, units, tracing.NoBusy, int64(s.To))
+			}
+		}
+	}
+	// Fresh units this epoch: offered demand over the routable capacity,
+	// in 1-GHz CPU-seconds, with the fractional remainder carried.
+	unitCost := float64(f.cfg.Unit.CPUs) * f.cfg.Unit.Seconds1GHz
+	capacity := 0.0
+	for _, s := range f.view.Shards {
+		capacity += float64(s.CPUs) * s.ClockGHz * float64(f.cfg.Epoch)
+	}
+	unitsF := f.carry + f.cfg.Demand*capacity/unitCost
+	n := int(unitsF)
+	f.carry = unitsF - float64(n)
+
+	mc, _ := f.pol.(migrationCounter)
+	for u := 0; u < n; u++ {
+		var migBefore int64
+		if mc != nil {
+			migBefore = mc.Migrations()
+		}
+		p := f.pol.Pick(&f.view, f.r)
+		if p < 0 || p >= len(f.view.Shards) {
+			panic(fmt.Sprintf("federation: policy %s picked %d of %d shards", f.pol.Name(), p, len(f.view.Shards)))
+		}
+		f.view.Shards[p].Backlog++
+		sh := f.shards[f.view.Shards[p].Index]
+		sh.ctrl.Limit++
+		sh.st.Granted++
+		sh.grantTimes = append(sh.grantTimes, t)
+		f.stats.Units++
+		f.unitSeq++
+		touched[sh.idx] = true
+		if f.cfg.Tracer != nil {
+			reason := tracing.ReasonRouted
+			if mc != nil && mc.Migrations() > migBefore {
+				reason = tracing.ReasonMigrated
+			}
+			f.cfg.Tracer.Emit(t, tracing.KindRoute, reason,
+				int(f.unitSeq), f.cfg.Unit.CPUs, f.view.Shards[p].Busy, int64(sh.idx))
+		}
+	}
+	// Wake every shard whose entitlement grew: an event at t in the
+	// submit phase (marking scheduler state dirty) followed by a pass
+	// request, so the admission pass actually runs at the barrier instant
+	// instead of being elided or deferred to the next native event.
+	for _, sh := range f.shards {
+		if !touched[sh.idx] {
+			continue
+		}
+		at := t
+		sh.sm.ScheduleAt(at, func(s *engine.Simulator) { s.RequestPassAt(at) })
+	}
+}
+
+// finish fills the per-shard outcome (utilization splits, fault counters)
+// and the policy's migration total after the drain.
+func (f *Fleet) finish() {
+	f.stats.Shards = make([]ShardStats, len(f.shards))
+	for i, sh := range f.shards {
+		nat, inter := sh.sm.Machine().CPUSeconds()
+		if now := sh.sm.Now(); now > 0 {
+			capacity := float64(sh.cpus) * float64(now)
+			sh.st.NativeUtil = nat / capacity
+			sh.st.Utilization = (nat + inter) / capacity
+		}
+		if sh.inj != nil {
+			sh.st.Struck = sh.inj.Struck
+			sh.st.Evicted = sh.inj.Evicted
+		}
+		f.stats.Shards[i] = sh.st
+	}
+	if mc, ok := f.pol.(migrationCounter); ok {
+		f.stats.Migrations = mc.Migrations()
+	}
+}
+
+// Stats reports the fleet outcome; call after Run.
+func (f *Fleet) Stats() Stats { return f.stats }
+
+// Digest reports the FNV-1a fold over every retired record (all shards,
+// merge order). Two fleet runs with equal digests produced identical
+// simulated histories.
+func (f *Fleet) Digest() uint64 { return uint64(f.digest) }
+
+// UnitLatency summarizes grant-to-retirement latency of the routed work
+// units, in seconds (approximate under fault evictions; see shard).
+func (f *Fleet) UnitLatency() Stat { return f.unitLat.Summary() }
+
+// NativeWait summarizes native queue waits across the fleet, in seconds.
+func (f *Fleet) NativeWait() Stat { return f.waits.Summary() }
+
+// Utilization reports the fleet-wide overall and native utilization:
+// CPU-seconds served over capacity, capacity-weighted across shards.
+func (f *Fleet) Utilization() (overall, native float64) {
+	var nat, inter, capacity float64
+	for _, sh := range f.shards {
+		n, i := sh.sm.Machine().CPUSeconds()
+		nat += n
+		inter += i
+		capacity += float64(sh.cpus) * float64(sh.sm.Now())
+	}
+	if capacity == 0 {
+		return 0, 0
+	}
+	return (nat + inter) / capacity, nat / capacity
+}
+
+// ParallelRunner returns a Config.Runner executing up to workers shard
+// advances concurrently; workers <= 1 returns nil (serial). The barrier
+// WaitGroup provides the happens-before edges Config.Runner requires.
+func ParallelRunner(workers int) func(n int, fn func(i int)) {
+	if workers <= 1 {
+		return nil
+	}
+	return func(n int, fn func(i int)) {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				fn(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+}
+
+// Digest64 is a running FNV-1a fold over retired job records, the
+// federation analogue of the scale-stream digest: shard index plus the
+// record's full field set, in merge order.
+type Digest64 uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// NewDigest returns the FNV-1a offset basis.
+func NewDigest() Digest64 { return fnvOffset64 }
+
+// Fold mixes one retired record into the digest.
+func (d *Digest64) Fold(shard int, j *job.Job) {
+	d.fold(uint64(shard), uint64(int64(j.ID)), uint64(j.CPUs), uint64(int64(j.Submit)),
+		uint64(int64(j.Start)), uint64(int64(j.Finish)), uint64(int64(j.Runtime)),
+		uint64(int64(j.Estimate)), uint64(j.Class), uint64(j.State))
+}
+
+func (d *Digest64) fold(ws ...uint64) {
+	h := uint64(*d)
+	for _, w := range ws {
+		for i := 0; i < 8; i++ {
+			h ^= w & 0xff
+			h *= fnvPrime64
+			w >>= 8
+		}
+	}
+	*d = Digest64(h)
+}

@@ -1,0 +1,62 @@
+package federation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzRoutePolicy drives ParsePolicy with arbitrary configuration strings
+// and checks the invariants every accepted policy must hold: the canonical
+// Name() round-trips to an equivalent policy, Pick stays in bounds on a
+// small fleet view, and a Stealer never emits a self-steal or a
+// non-positive batch.
+func FuzzRoutePolicy(f *testing.F) {
+	for _, s := range []string{
+		"random", "round-robin", "least-loaded",
+		"locality", "locality:spread=2",
+		"work-stealing", "work-stealing:batch=8,victim=random",
+		"", "bogus", "random:", "locality:spread=0", "locality:spread=abc",
+		"work-stealing:victim=foo", "work-stealing:batch=2,batch=3",
+		"least-loaded:x=1", "locality:spread=99999999999999999999",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			return // rejected strings need no further invariants
+		}
+		canon := p.Name()
+		q, err := ParsePolicy(canon)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q) ok but canonical %q rejected: %v", s, canon, err)
+		}
+		if q.Name() != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, q.Name())
+		}
+
+		v := &View{UnitCPUs: 8, Shards: []ShardView{
+			{Index: 0, CPUs: 64, Free: 64, ClockGHz: 1},
+			{Index: 2, CPUs: 128, Free: 8, Busy: 120, ClockGHz: 1, Backlog: 3},
+			{Index: 5, CPUs: 256, Free: 200, Busy: 56, ClockGHz: 1, Backlog: 1},
+		}}
+		r := rand.New(rand.NewSource(1))
+		for i := 0; i < 32; i++ {
+			pick := p.Pick(v, r)
+			if pick < 0 || pick >= len(v.Shards) {
+				t.Fatalf("policy %q pick %d out of range [0,%d)", canon, pick, len(v.Shards))
+			}
+			v.Shards[pick].Backlog++
+		}
+		if st, ok := p.(Stealer); ok {
+			for _, s := range st.Steals(v, r) {
+				if s.From == s.To {
+					t.Fatalf("policy %q self steal: %+v", canon, s)
+				}
+				if s.Units < 1 {
+					t.Fatalf("policy %q non-positive steal: %+v", canon, s)
+				}
+			}
+		}
+	})
+}

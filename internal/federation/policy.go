@@ -1,0 +1,301 @@
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// View is the router's barrier-time snapshot of the fleet: one entry per
+// shard still inside its submission window, ascending by shard index. The
+// router refreshes Free/Busy after every epoch and bumps Backlog as it
+// grants within a barrier, so successive Picks in the same barrier see
+// the load they are creating.
+type View struct {
+	// Unit is the width (CPUs) of the work unit being routed.
+	UnitCPUs int
+	// Shards are the routable shards; Index is each one's true fleet
+	// position (the slice may omit shards whose window closed).
+	Shards []ShardView
+}
+
+// ShardView is one shard's routing-relevant state.
+type ShardView struct {
+	Index    int
+	CPUs     int
+	Free     int
+	Busy     int
+	ClockGHz float64
+	// Backlog is the shard's granted-but-unstarted entitlement, in work
+	// units: what it may still admit without a further grant.
+	Backlog int
+}
+
+// Load is the shard's committed load fraction: running CPUs plus the
+// queued entitlement's width, over capacity. The least-loaded policy and
+// the locality policy's migration target both rank by it.
+func (s ShardView) Load(unitCPUs int) float64 {
+	return (float64(s.Busy) + float64(s.Backlog*unitCPUs)) / float64(s.CPUs)
+}
+
+// Policy picks the destination shard for each interstitial work unit. A
+// policy may keep internal state (cursors, homes); the fleet calls Pick
+// only at single-threaded barriers, in a deterministic order, with a
+// dedicated router RNG — so a policy needs no locking and its decisions
+// are reproducible at any worker count.
+type Policy interface {
+	// Name returns the policy's canonical configuration string; it
+	// round-trips through ParsePolicy.
+	Name() string
+	// Pick returns a position into v.Shards (not a true shard index);
+	// v is never empty.
+	Pick(v *View, r *rand.Rand) int
+}
+
+// Stealer is implemented by policies that additionally move queued
+// entitlement between shards at each barrier, before the barrier's
+// fresh grants are routed — so the view it sees is the previous epoch's
+// leftover backlog, where drained shards are genuinely idle.
+type Stealer interface {
+	// Steals returns the entitlement moves for this barrier. From and To
+	// are true shard indices; Units > 0. A steal with From == To is a
+	// policy bug and rejected by the fleet.
+	Steals(v *View, r *rand.Rand) []Steal
+}
+
+// Steal is one entitlement move: Units queued work units leave shard From
+// for shard To.
+type Steal struct {
+	From, To, Units int
+}
+
+// migrationCounter is implemented by policies that track home migrations
+// (the locality policy); the fleet reads it to label trace events and
+// fill Stats.Migrations.
+type migrationCounter interface {
+	Migrations() int64
+}
+
+// PolicyNames lists the routing policies ParsePolicy accepts, in
+// documentation order.
+func PolicyNames() []string {
+	return []string{"random", "round-robin", "least-loaded", "locality", "work-stealing"}
+}
+
+// ParsePolicy builds a routing policy from its configuration string:
+// a policy name, optionally followed by ":key=val,key=val" options.
+//
+//	random
+//	round-robin
+//	least-loaded
+//	locality[:spread=N]            sticky home, migrate when backlog >= N (default 4)
+//	work-stealing[:batch=N,victim=random|max]   steal up to N units (default 4) per idle shard
+//
+// The returned policy's Name() is the canonical form of the same string.
+func ParsePolicy(s string) (Policy, error) {
+	name, optstr, hasOpts := strings.Cut(s, ":")
+	opts := map[string]string{}
+	if hasOpts {
+		if optstr == "" {
+			return nil, fmt.Errorf("federation: policy %q: empty option list", s)
+		}
+		for _, kv := range strings.Split(optstr, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok || k == "" || v == "" {
+				return nil, fmt.Errorf("federation: policy %q: malformed option %q", s, kv)
+			}
+			if _, dup := opts[k]; dup {
+				return nil, fmt.Errorf("federation: policy %q: duplicate option %q", s, k)
+			}
+			opts[k] = v
+		}
+	}
+	intOpt := func(key string, def int) (int, error) {
+		v, ok := opts[key]
+		if !ok {
+			return def, nil
+		}
+		delete(opts, key)
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return 0, fmt.Errorf("federation: policy %q: %s=%q is not a positive integer", s, key, v)
+		}
+		return n, nil
+	}
+	var p Policy
+	var err error
+	switch name {
+	case "random":
+		p = randomPolicy{}
+	case "round-robin":
+		p = &roundRobin{}
+	case "least-loaded":
+		p = leastLoaded{}
+	case "locality":
+		var spread int
+		if spread, err = intOpt("spread", 4); err != nil {
+			return nil, err
+		}
+		p = &locality{spread: spread, home: -1}
+	case "work-stealing":
+		var batch int
+		if batch, err = intOpt("batch", 4); err != nil {
+			return nil, err
+		}
+		victim := opts["victim"]
+		delete(opts, "victim")
+		if victim == "" {
+			victim = "max"
+		}
+		if victim != "max" && victim != "random" {
+			return nil, fmt.Errorf("federation: policy %q: victim=%q is neither max nor random", s, victim)
+		}
+		p = &workStealing{batch: batch, victim: victim}
+	default:
+		return nil, fmt.Errorf("federation: unknown policy %q (valid: %s)", name, strings.Join(PolicyNames(), ", "))
+	}
+	if len(opts) > 0 {
+		keys := make([]string, 0, len(opts))
+		for k := range opts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return nil, fmt.Errorf("federation: policy %q: unknown option %q", s, keys[0])
+	}
+	return p, nil
+}
+
+// randomPolicy routes each unit to a uniformly random shard.
+type randomPolicy struct{}
+
+func (randomPolicy) Name() string { return "random" }
+func (randomPolicy) Pick(v *View, r *rand.Rand) int {
+	return r.Intn(len(v.Shards))
+}
+
+// roundRobin cycles through the routable shards in index order.
+type roundRobin struct{ cursor int }
+
+func (*roundRobin) Name() string { return "round-robin" }
+func (p *roundRobin) Pick(v *View, r *rand.Rand) int {
+	i := p.cursor % len(v.Shards)
+	p.cursor++
+	return i
+}
+
+// leastLoaded routes each unit to the shard with the smallest committed
+// load, counting the entitlement granted earlier in the same barrier;
+// ties break to the lower shard index.
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return "least-loaded" }
+func (leastLoaded) Pick(v *View, r *rand.Rand) int {
+	best := 0
+	bestLoad := v.Shards[0].Load(v.UnitCPUs)
+	for i := 1; i < len(v.Shards); i++ {
+		if l := v.Shards[i].Load(v.UnitCPUs); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// locality keeps routing to one home shard — the cheap placement when
+// consecutive units share state (a warmed container image, staged input
+// data) — and migrates to the least-loaded shard only once the home's
+// backlog reaches spread units.
+type locality struct {
+	spread     int
+	home       int // true shard index; -1 before the first pick
+	migrations int64
+}
+
+func (p *locality) Name() string { return fmt.Sprintf("locality:spread=%d", p.spread) }
+
+func (p *locality) Migrations() int64 { return p.migrations }
+
+func (p *locality) Pick(v *View, r *rand.Rand) int {
+	at := -1
+	for i, s := range v.Shards {
+		if s.Index == p.home {
+			at = i
+			break
+		}
+	}
+	if at >= 0 && v.Shards[at].Backlog < p.spread {
+		return at
+	}
+	pick := leastLoaded{}.Pick(v, r)
+	if p.home >= 0 && v.Shards[pick].Index != p.home {
+		p.migrations++
+	}
+	p.home = v.Shards[pick].Index
+	return pick
+}
+
+// workStealing routes round-robin, and at each barrier — before the new
+// grants — lets idle shards (no leftover backlog, room to start a unit)
+// steal up to batch queued units from a loaded victim, chosen either as
+// the most-backlogged shard ("max") or uniformly among backlogged
+// shards ("random").
+type workStealing struct {
+	batch  int
+	victim string
+	rr     roundRobin
+}
+
+func (p *workStealing) Name() string {
+	return fmt.Sprintf("work-stealing:batch=%d,victim=%s", p.batch, p.victim)
+}
+
+func (p *workStealing) Pick(v *View, r *rand.Rand) int { return p.rr.Pick(v, r) }
+
+func (p *workStealing) Steals(v *View, r *rand.Rand) []Steal {
+	// Work on a local backlog copy so one barrier's steals never
+	// over-drain a victim that several thieves target.
+	backlog := make([]int, len(v.Shards))
+	for i, s := range v.Shards {
+		backlog[i] = s.Backlog
+	}
+	var out []Steal
+	for i, thief := range v.Shards {
+		if backlog[i] > 0 || thief.Free < v.UnitCPUs {
+			continue // busy or full shards don't steal
+		}
+		// A victim must still hold units AND have been backlogged at the
+		// barrier start — a thief's fresh receipts are not stealable, or
+		// units would ping-pong between idle shards within one barrier.
+		victim := -1
+		switch p.victim {
+		case "random":
+			candidates := make([]int, 0, len(v.Shards))
+			for k := range v.Shards {
+				if k != i && backlog[k] > 0 && v.Shards[k].Backlog > 0 {
+					candidates = append(candidates, k)
+				}
+			}
+			if len(candidates) > 0 {
+				victim = candidates[r.Intn(len(candidates))]
+			}
+		default: // "max"
+			for k := range v.Shards {
+				if k != i && backlog[k] > 0 && v.Shards[k].Backlog > 0 && (victim < 0 || backlog[k] > backlog[victim]) {
+					victim = k
+				}
+			}
+		}
+		if victim < 0 {
+			continue // no one to steal from
+		}
+		n := p.batch
+		if n > backlog[victim] {
+			n = backlog[victim]
+		}
+		backlog[victim] -= n
+		backlog[i] += n
+		out = append(out, Steal{From: v.Shards[victim].Index, To: thief.Index, Units: n})
+	}
+	return out
+}

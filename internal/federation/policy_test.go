@@ -1,0 +1,220 @@
+package federation
+
+import (
+	"math/rand"
+	"testing"
+
+	"interstitial/internal/testbed"
+)
+
+func testView() *View {
+	return &View{UnitCPUs: 16, Shards: []ShardView{
+		{Index: 0, CPUs: 1000, Free: 1000, Busy: 0, ClockGHz: 0.5, Backlog: 0},
+		{Index: 1, CPUs: 1000, Free: 200, Busy: 800, ClockGHz: 0.5, Backlog: 5},
+		{Index: 2, CPUs: 1000, Free: 500, Busy: 500, ClockGHz: 0.5, Backlog: 0},
+	}}
+}
+
+func TestParsePolicyCanonical(t *testing.T) {
+	cases := map[string]string{
+		"random":                            "random",
+		"round-robin":                       "round-robin",
+		"least-loaded":                      "least-loaded",
+		"locality":                          "locality:spread=4",
+		"locality:spread=2":                 "locality:spread=2",
+		"work-stealing":                     "work-stealing:batch=4,victim=max",
+		"work-stealing:batch=8":             "work-stealing:batch=8,victim=max",
+		"work-stealing:victim=random":       "work-stealing:batch=4,victim=random",
+		"work-stealing:batch=1,victim=max":  "work-stealing:batch=1,victim=max",
+		"work-stealing:victim=max,batch=16": "work-stealing:batch=16,victim=max",
+	}
+	for in, want := range cases {
+		p, err := ParsePolicy(in)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", in, err)
+			continue
+		}
+		if p.Name() != want {
+			t.Errorf("ParsePolicy(%q).Name() = %q, want %q", in, p.Name(), want)
+		}
+		// Canonical forms are fixed points.
+		q, err := ParsePolicy(p.Name())
+		if err != nil || q.Name() != p.Name() {
+			t.Errorf("canonical %q did not round-trip: %v, %q", p.Name(), err, q)
+		}
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "bogus", "random:", "random:x=1", "locality:spread=0",
+		"locality:spread=-3", "locality:spread=abc", "locality:spread=2,spread=3",
+		"work-stealing:victim=foo", "work-stealing:batch=", "work-stealing:batch",
+		"least-loaded:unknown=1", "work-stealing:batch=2,extra=9",
+	} {
+		if p, err := ParsePolicy(in); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted as %q", in, p.Name())
+		}
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	v := testView()
+	p := &roundRobin{}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 7; i++ {
+		if got, want := p.Pick(v, r), i%3; got != want {
+			t.Fatalf("pick %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestLeastLoadedPicksAndTieBreaks(t *testing.T) {
+	v := testView()
+	r := rand.New(rand.NewSource(1))
+	// Shard 0 is empty; 1 is heavily committed; 2 half busy.
+	if got := (leastLoaded{}).Pick(v, r); got != 0 {
+		t.Fatalf("least-loaded picked %d, want 0", got)
+	}
+	// Exact tie: lower position wins.
+	v.Shards[2].Busy, v.Shards[2].Free = 0, 1000
+	if got := (leastLoaded{}).Pick(v, r); got != 0 {
+		t.Fatalf("tie-broken pick = %d, want 0", got)
+	}
+}
+
+func TestLocalityStickinessAndMigration(t *testing.T) {
+	v := testView()
+	r := rand.New(rand.NewSource(1))
+	p := &locality{spread: 2, home: -1}
+	// First pick establishes a home (the least-loaded shard 0) without
+	// counting a migration.
+	if got := p.Pick(v, r); got != 0 || p.Migrations() != 0 {
+		t.Fatalf("first pick = %d (migrations %d), want 0 (0)", got, p.Migrations())
+	}
+	// Below spread: sticks to home even though shard 2 is equally light.
+	v.Shards[0].Backlog = 1
+	if got := p.Pick(v, r); got != 0 {
+		t.Fatalf("sticky pick = %d, want home 0", got)
+	}
+	// At spread, with a lighter shard available: migrates to the
+	// least-loaded shard and counts it.
+	v.Shards[0].Backlog = 2
+	v.Shards[0].Busy, v.Shards[0].Free = 900, 100
+	if got := p.Pick(v, r); got != 2 || p.Migrations() != 1 {
+		t.Fatalf("migrating pick = %d (migrations %d), want 2 (1)", got, p.Migrations())
+	}
+	// Home gone from the view (window closed): re-homes to the lightest
+	// remaining shard without panic, counting the forced move.
+	v.Shards = v.Shards[:2]
+	if got := p.Pick(v, r); got != 1 || p.Migrations() != 2 {
+		t.Fatalf("re-home pick = %d (migrations %d), want 1 (2)", got, p.Migrations())
+	}
+}
+
+func TestWorkStealingSteals(t *testing.T) {
+	v := testView()
+	r := rand.New(rand.NewSource(1))
+	p := &workStealing{batch: 3, victim: "max"}
+	steals := p.Steals(v, r)
+	// Shards 0 and 2 are idle (no backlog, room for a unit); shard 1 has
+	// 5 queued units. Batch 3: first thief takes 3, second the rest.
+	if len(steals) != 2 {
+		t.Fatalf("got %d steals, want 2: %+v", len(steals), steals)
+	}
+	if steals[0] != (Steal{From: 1, To: 0, Units: 3}) || steals[1] != (Steal{From: 1, To: 2, Units: 2}) {
+		t.Fatalf("unexpected steals: %+v", steals)
+	}
+}
+
+func TestStealFromSelfPrevention(t *testing.T) {
+	// A shard that is idle by the thief test (Backlog 0) can never also
+	// be a victim (victims need Backlog > 0): prevention is structural.
+	// Sweep random victim selection over many seeds to make sure no
+	// self-steal or over-steal ever escapes.
+	for seed := int64(0); seed < 50; seed++ {
+		v := testView()
+		v.Shards[0].Backlog = 0
+		r := rand.New(rand.NewSource(seed))
+		for _, victim := range []string{"max", "random"} {
+			p := &workStealing{batch: 2, victim: victim}
+			for _, s := range p.Steals(v, r) {
+				if s.From == s.To {
+					t.Fatalf("victim=%s seed %d: self steal %+v", victim, seed, s)
+				}
+				if s.Units < 1 || s.Units > 5 {
+					t.Fatalf("victim=%s seed %d: bad batch %+v", victim, seed, s)
+				}
+			}
+		}
+	}
+	// No backlog anywhere: nothing to steal.
+	v := testView()
+	for i := range v.Shards {
+		v.Shards[i].Backlog = 0
+	}
+	r := rand.New(rand.NewSource(1))
+	if s := (&workStealing{batch: 2, victim: "max"}).Steals(v, r); len(s) != 0 {
+		t.Fatalf("stole from an idle fleet: %+v", s)
+	}
+	// Every shard backlogged: no thieves.
+	for i := range v.Shards {
+		v.Shards[i].Backlog = 2
+	}
+	if s := (&workStealing{batch: 2, victim: "max"}).Steals(v, r); len(s) != 0 {
+		t.Fatalf("busy shards stole: %+v", s)
+	}
+}
+
+// selfStealer is a deliberately broken policy: it routes round-robin but
+// emits self-steals and oversized moves the fleet must reject.
+type selfStealer struct{ roundRobin }
+
+func (*selfStealer) Name() string { return "self-stealer" }
+func (*selfStealer) Steals(v *View, r *rand.Rand) []Steal {
+	return []Steal{
+		{From: 0, To: 0, Units: 3},   // self steal
+		{From: 1, To: 0, Units: -2},  // nonpositive
+		{From: 99, To: 0, Units: 1},  // out of range
+		{From: 1, To: 0, Units: 1e6}, // over-steal: clamped to the backlog
+	}
+}
+
+func TestFleetRejectsInvalidSteals(t *testing.T) {
+	all := testbed.All()
+	machines := make([]Machine, 2)
+	for i := range machines {
+		sys := all[i%len(all)]
+		p := sys.Workload
+		p.Days *= 0.01
+		p.Jobs = 50
+		if maxH := p.Days * 24 / 3; p.LongJobMaxHours > maxH {
+			p.LongJobMaxHours = maxH
+		}
+		machines[i] = Machine{Profile: p, NewPolicy: sys.NewPolicy}
+	}
+	fl, err := New(Config{
+		Machines: machines,
+		Policy:   &selfStealer{},
+		Unit:     UnitSpec{CPUs: 16, Seconds1GHz: 300},
+		Demand:   0.3,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := fl.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := fl.Stats()
+	// The only valid move is the clamped over-steal; every stolen unit
+	// must stay within what shard 1 was actually granted.
+	if st.StolenUnits > st.Shards[1].Granted {
+		t.Fatalf("stole %d units from a shard granted %d", st.StolenUnits, st.Shards[1].Granted)
+	}
+	for i, s := range st.Shards {
+		if s.StolenOut < 0 || s.StolenIn < 0 {
+			t.Fatalf("shard %d negative steal accounting: %+v", i, s)
+		}
+	}
+}

@@ -12,6 +12,22 @@ import (
 // New returns a rand.Rand seeded deterministically.
 func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
+// DeriveSeed derives the seed of an independent random stream from a base
+// seed and a stream index, by running (base, stream) through a splitmix64
+// finalizer. Nearby bases and streams land far apart, so per-shard
+// generators seeded with DeriveSeed(seed, shard) behave as unrelated
+// streams while staying a pure function of the pair — the property the
+// federation layer's determinism contract rests on.
+func DeriveSeed(base int64, stream uint64) int64 {
+	z := uint64(base) ^ (0x9e3779b97f4a7c15 * (stream + 1))
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
 // LogNormal draws from a lognormal distribution with the given median and
 // sigma (the standard deviation of the underlying normal). The mean of the
 // distribution is median * exp(sigma^2/2).

@@ -69,6 +69,14 @@ const (
 	// RunUntil); RunEnd's Aux carries the events executed so far.
 	KindRunBegin
 	KindRunEnd
+	// KindRoute: the federation router granted one interstitial work unit
+	// to a shard (Job = fleet-wide unit sequence, CPUs = unit width, Busy
+	// = the destination shard's busy CPUs, Aux = destination shard index).
+	KindRoute
+	// KindSteal: the federation router moved queued entitlement between
+	// shards at a barrier (Job = victim shard index, CPUs = units moved,
+	// Aux = thief shard index).
+	KindSteal
 
 	kindCount // sentinel; keep last
 )
@@ -85,6 +93,8 @@ var kindNames = [kindCount]string{
 	KindRestore:  "restore",
 	KindRunBegin: "run-begin",
 	KindRunEnd:   "run-end",
+	KindRoute:    "route",
+	KindSteal:    "steal",
 }
 
 // String names the kind as it appears in exports.
@@ -149,6 +159,13 @@ const (
 	ReasonFaultEvict
 	// ReasonNodeLoss: the outage itself.
 	ReasonNodeLoss
+	// ReasonRouted: the federation policy picked this shard for a fresh
+	// work unit. ReasonMigrated: the pick moved a locality-aware policy's
+	// home shard. ReasonStolen: the unit's entitlement moved to an idle
+	// shard at a barrier steal.
+	ReasonRouted
+	ReasonMigrated
+	ReasonStolen
 
 	reasonCount // sentinel; keep last
 )
@@ -167,6 +184,9 @@ var reasonNames = [reasonCount]string{
 	ReasonHeadBlocked:          "head-blocked",
 	ReasonFaultEvict:           "fault-evict",
 	ReasonNodeLoss:             "node-loss",
+	ReasonRouted:               "routed",
+	ReasonMigrated:             "migrated",
+	ReasonStolen:               "stolen",
 }
 
 // String names the reason; ReasonNone is the empty string (omitted in
