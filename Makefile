@@ -62,6 +62,7 @@ fuzz:
 	$(GO) test -fuzz FuzzMachineByName -fuzztime 30s .
 	$(GO) test -fuzz FuzzRoutePolicy -fuzztime 30s ./internal/federation/
 	$(GO) test -fuzz FuzzScheduleConfig -fuzztime 30s ./internal/faults/
+	$(GO) test -fuzz FuzzAdvisorRequest -fuzztime 30s ./internal/advisor/
 
 # Regenerate the paper at full scale (~4 min) and the extension studies.
 paper:

@@ -7,101 +7,186 @@
 // Usage:
 //
 //	advisor -machine "Blue Mountain" -petacycles 10 [-seed 1] [-scale 0.25]
+//	        [-cap 10] [-timeout D] [-json]
+//	        [-server URL [-tenant name] [-retries N]]
+//
+// The CLI is a thin client of internal/advisor — the same planning core
+// cmd/advisord serves — so a local run and `-server` against a daemon
+// print byte-identical plans for the same canonical request (pinned by
+// test). In server mode, 429/503 answers are retried with deterministic
+// jittered backoff (internal/retry), honoring the server's Retry-After.
+//
+// Invalid flags (unknown machine, non-positive petacycles or scale, ...)
+// are rejected up front with exit status 2, matching cmd/experiments.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
-	"sort"
-	"text/tabwriter"
+	"time"
 
-	"interstitial"
+	"interstitial/internal/advisor"
+	"interstitial/internal/retry"
 )
 
-type candidate struct {
-	cpus      int
-	sec1GHz   float64
-	jobs      int
-	makespanH float64
-	breakage  float64
-	// worstNativeDelay is the paper's bound: one interstitial job length.
-	worstNativeDelayS int64
-	score             float64
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("advisor: ")
-	machineName := flag.String("machine", "Blue Mountain", `machine: "Ross", "Blue Mountain", or "Blue Pacific"`)
-	petaCycles := flag.Float64("petacycles", 10, "project size in peta-cycles (1e15 ticks)")
-	seed := flag.Int64("seed", 1, "seed for the calibrated planning log")
-	scale := flag.Float64("scale", 0.25, "planning-log scale (smaller = faster, noisier)")
-	flag.Parse()
+// run is main with injectable streams and status (tested directly).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("advisor", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	machine := fs.String("machine", "Blue Mountain", `machine: "Ross", "Blue Mountain", or "Blue Pacific"`)
+	petaCycles := fs.Float64("petacycles", 10, "project size in peta-cycles (1e15 ticks)")
+	seed := fs.Int64("seed", advisor.DefaultSeed, "seed for the calibrated planning log")
+	scale := fs.Float64("scale", advisor.DefaultScale, "planning-log scale in (0, 1] (smaller = faster, noisier)")
+	capN := fs.Int("cap", advisor.DefaultCap, "ranked candidates listed (max 24)")
+	timeout := fs.Duration("timeout", 0, "abort planning after this long (0 = no limit)")
+	jsonOut := fs.Bool("json", false, "print the full plan as JSON instead of the table")
+	server := fs.String("server", "", "ask a running advisord at this base URL instead of planning locally")
+	tenant := fs.String("tenant", "", "tenant identity sent to the server (X-Advisor-Tenant)")
+	retries := fs.Int("retries", 4, "server mode: attempts before giving up on 429/503")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
-	m, err := interstitial.MachineByName(*machineName)
+	usageError := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "advisor: "+format+"\n", a...)
+		fs.Usage()
+		return 2
+	}
+	if *timeout < 0 {
+		return usageError("-timeout %v is negative", *timeout)
+	}
+	if *retries < 1 {
+		return usageError("-retries %d is not positive", *retries)
+	}
+	// Zero means "default" to Request.Canonicalize; on the command line an
+	// explicit 0 is a mistake, so reject it before canonicalization.
+	if *scale <= 0 || *scale > 1 {
+		return usageError("-scale %g outside (0, 1]", *scale)
+	}
+	if *capN < 1 || *capN > advisor.MaxCap {
+		return usageError("-cap %d outside [1, %d]", *capN, advisor.MaxCap)
+	}
+	req := advisor.Request{
+		Machine: *machine, PetaCycles: *petaCycles,
+		Cap: *capN, Seed: *seed, Scale: *scale,
+	}
+	req.Canonicalize()
+	if err := req.Validate(); err != nil {
+		return usageError("%v", err)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var plan *advisor.Plan
+	var err error
+	if *server != "" {
+		plan, err = fetchPlan(ctx, *server, req, *tenant, *retries, *seed)
+	} else {
+		core := advisor.NewCore(advisor.CoreConfig{Ctx: ctx})
+		plan, err = core.Plan(req)
+	}
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "advisor: %v\n", err)
+		return 1
 	}
-	if *scale > 0 && *scale < 1 {
-		m.Workload.Days *= *scale
-		m.Workload.Jobs = int(float64(m.Workload.Jobs) * *scale)
-	}
-	logJobs := interstitial.CalibratedLog(m, *seed)
-	util := interstitial.RunNative(m, logJobs)
-
-	fmt.Printf("Machine %s: %d CPUs @ %.3f GHz, native utilization %.3f\n",
-		m.Name, m.Workload.Machine.CPUs, m.Workload.Machine.ClockGHz, util)
-	fmt.Printf("Project: %.1f peta-cycles; ideal makespan %.1f h at constant utilization\n\n",
-		*petaCycles, interstitial.TheoreticalMakespan(m, *petaCycles)/3600)
-
-	var cands []candidate
-	start := m.Workload.Duration() / 8
-	for _, cpus := range []int{1, 4, 8, 16, 32, 64} {
-		for _, sec := range []float64{60, 120, 480, 960} {
-			k := int(*petaCycles*1e15/(float64(cpus)*sec*1e9) + 0.5)
-			if k < 1 {
-				continue
-			}
-			p := interstitial.ProjectSpec{PetaCycles: *petaCycles, KJobs: k, CPUsPerJob: cpus}
-			ms, err := interstitial.PlanOmniscient(m, logJobs, p, start)
-			if err != nil {
-				continue // job bigger than the machine's spare pool
-			}
-			c := candidate{
-				cpus: cpus, sec1GHz: sec, jobs: k,
-				makespanH:         ms.HoursF(),
-				breakage:          interstitial.Breakage(m, cpus),
-				worstNativeDelayS: int64(m.Seconds1GHz(sec)),
-			}
-			// Score: makespan dominates; native delay is a soft penalty
-			// (an hour of worst-case native delay weighs like 20% extra
-			// makespan on a 100h project).
-			c.score = c.makespanH * (1 + float64(c.worstNativeDelayS)/3600*0.2)
-			cands = append(cands, c)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(plan); err != nil {
+			fmt.Fprintf(stderr, "advisor: %v\n", err)
+			return 1
 		}
+		return 0
 	}
-	if len(cands) == 0 {
-		log.Fatal("no feasible job shape for this machine")
-	}
-	sort.Slice(cands, func(i, k int) bool { return cands[i].score < cands[k].score })
+	fmt.Fprint(stdout, plan.Text)
+	return 0
+}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "rank\tCPUs/job\tsec@1GHz\tjobs\tmakespan (h)\tbreakage\tworst native delay (s)")
-	for i, c := range cands {
-		if i >= 10 {
-			break
+// fetchPlan asks a running advisord, retrying shed/overload answers with
+// deterministic jittered backoff. The jitter stream derives from the plan
+// seed, so a test can replay the exact schedule.
+func fetchPlan(ctx context.Context, base string, req advisor.Request, tenant string, attempts int, seed int64) (*advisor.Plan, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("bad -server URL: %v", err)
+	}
+	u = u.JoinPath("plan")
+	q := url.Values{}
+	q.Set("machine", req.Machine)
+	q.Set("petacycles", fmt.Sprintf("%g", req.PetaCycles))
+	q.Set("cap", fmt.Sprintf("%d", req.Cap))
+	q.Set("seed", fmt.Sprintf("%d", req.Seed))
+	q.Set("scale", fmt.Sprintf("%g", req.Scale))
+	u.RawQuery = q.Encode()
+
+	policy := retry.NewPolicy(200*time.Millisecond, 5*time.Second, 2, seed, 0)
+	var plan *advisor.Plan
+	err = retry.Do(ctx, attempts, policy, nil, func(ctx context.Context, attempt int) error {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+		if err != nil {
+			return err
 		}
-		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%d\t%.1f\t%.3f\t%d\n",
-			i+1, c.cpus, c.sec1GHz, c.jobs, c.makespanH, c.breakage, c.worstNativeDelayS)
+		if tenant != "" {
+			hreq.Header.Set("X-Advisor-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			return retry.Transient(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+		if err != nil {
+			return retry.Transient(err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var p advisor.Plan
+			if err := json.Unmarshal(body, &p); err != nil {
+				return fmt.Errorf("bad server response: %v", err)
+			}
+			plan = &p
+			return nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			err := fmt.Errorf("server %s: %s", resp.Status, errorOf(body))
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, perr := time.ParseDuration(ra + "s"); perr == nil {
+					return retry.TransientAfter(err, secs)
+				}
+			}
+			return retry.Transient(err)
+		default:
+			return fmt.Errorf("server %s: %s", resp.Status, errorOf(body))
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	if err := tw.Flush(); err != nil {
-		log.Fatal(err)
+	return plan, nil
+}
+
+// errorOf extracts the error message from a JSON error body, falling back
+// to the raw bytes.
+func errorOf(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
 	}
-	best := cands[0]
-	fmt.Printf("\nRecommendation: %d CPUs/job × %.0f s@1GHz (%d jobs).\n", best.cpus, best.sec1GHz, best.jobs)
-	fmt.Println("Paper guidelines applied: keep jobs small relative to the machine's")
-	fmt.Println("spare pool (low breakage) and short (bounded native delay); at equal")
-	fmt.Println("makespan the advisor prefers the shorter, narrower shape.")
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(body)
 }

@@ -1,0 +1,118 @@
+// Command advisord serves the capacity-planning advisor as a hardened
+// multi-tenant HTTP/JSON daemon: the same planning core as cmd/advisor,
+// behind admission control, request coalescing, a result cache, graceful
+// degradation, and a clean SIGTERM drain (see DESIGN.md §14).
+//
+// Usage:
+//
+//	advisord [-addr host:port] [-queue N] [-rate R -burst B] [-cache N]
+//	         [-budget D] [-degraded-scale F] [-drain D]
+//
+// Endpoints:
+//
+//	GET  /plan?machine=Ross&petacycles=10[&cap=10&seed=1&scale=0.25]
+//	POST /plan          {"machine":"Ross","petacycles":10,...}
+//	GET  /healthz       liveness (200 while the process runs)
+//	GET  /readyz        readiness (503 once draining)
+//	GET  /metrics       Prometheus text: advisor_{admitted,shed,coalesced,
+//	                    degraded,...}_total plus per-tenant breakdowns
+//
+// Over-capacity requests are shed with 429 + Retry-After; requests whose
+// full sweep exceeds -budget get a cheap fallback plan marked
+// "degraded": true. SIGTERM/SIGINT stops admission (readyz flips to 503),
+// completes every in-flight plan within -drain, then exits 0.
+//
+// Invalid flags are rejected up front with exit status 2, matching
+// cmd/experiments.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"interstitial/internal/advisor"
+)
+
+// usageError rejects bad flags before any work starts: message, usage,
+// exit 2 (the conventional flag-error status).
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "advisord: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("advisord: ")
+	addr := flag.String("addr", "localhost:7676", "listen address")
+	queue := flag.Int("queue", 4, "bounded work queue: concurrent plan computations admitted")
+	rate := flag.Float64("rate", 0, "per-tenant sustained requests/sec (0 = no per-tenant limit)")
+	burst := flag.Int("burst", 0, "per-tenant token-bucket depth (default 2*rate)")
+	cache := flag.Int("cache", 256, "result-cache entries (LRU)")
+	budget := flag.Duration("budget", 2*time.Second, "per-request full-sweep budget before degrading")
+	degradedScale := flag.Float64("degraded-scale", 0.02, "fallback planning-log scale for over-budget requests")
+	drain := flag.Duration("drain", 30*time.Second, "max wait for in-flight plans on SIGTERM")
+	flag.Parse()
+	switch {
+	case *queue < 1:
+		usageError("-queue %d is not positive", *queue)
+	case *rate < 0:
+		usageError("-rate %g is negative", *rate)
+	case *burst < 0:
+		usageError("-burst %d is negative", *burst)
+	case *cache < 1:
+		usageError("-cache %d is not positive", *cache)
+	case *budget <= 0:
+		usageError("-budget %v is not positive", *budget)
+	case *degradedScale <= 0 || *degradedScale > 1:
+		usageError("-degraded-scale %g outside (0, 1]", *degradedScale)
+	case *drain <= 0:
+		usageError("-drain %v is not positive", *drain)
+	case flag.NArg() > 0:
+		usageError("unexpected arguments %q", flag.Args())
+	}
+
+	srv := advisor.NewServer(advisor.Config{
+		QueueBound:    *queue,
+		TenantRate:    *rate,
+		TenantBurst:   *burst,
+		CacheEntries:  *cache,
+		Budget:        *budget,
+		DegradedScale: *degradedScale,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("serving on http://%s (queue %d, budget %v)", *addr, *queue, *budget)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%v: draining (up to %v)", sig, *drain)
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	// Stop routing first, then let the listener close while in-flight
+	// handlers (and the background plan fills they started) complete.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	log.Print("drained cleanly")
+}

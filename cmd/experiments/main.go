@@ -15,9 +15,10 @@
 // -metrics dumps the observability layer to stderr after the run: a
 // per-experiment wall-time/cell-count table and the full metric registry
 // (kernel event counts, backfill fills, singleflight hits, pool
-// occupancy) in Prometheus text format. -pprof serves net/http/pprof and
-// expvar (including the live metric registry) on the given address for
-// profiling a long run, e.g. `-pprof localhost:6060`. Both are
+// occupancy) in Prometheus text format. -pprof serves net/http/pprof,
+// expvar (including the live metric registry), and the registry in
+// Prometheus text at /metrics on the given address for profiling or
+// scraping a long run, e.g. `-pprof localhost:6060`. Both are
 // observation-only: the rendered tables on stdout are byte-identical with
 // or without them.
 //
@@ -161,15 +162,17 @@ func main() {
 	if *pprofAddr != "" {
 		// The default mux already has pprof (import above) and expvar's
 		// /debug/vars; publishing the registry adds the live simulator
-		// metrics to the latter.
+		// metrics to the latter, and /metrics serves the same registry in
+		// Prometheus text format for scrapers.
 		lab.Metrics().PublishExpvar("interstitial")
+		http.Handle("/metrics", lab.Metrics().Handler())
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: pprof server: %v\n", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "experiments: pprof+expvar on http://%s/debug/pprof http://%s/debug/vars\n",
-			*pprofAddr, *pprofAddr)
+		fmt.Fprintf(os.Stderr, "experiments: pprof+expvar+metrics on http://%s/debug/pprof http://%s/debug/vars http://%s/metrics\n",
+			*pprofAddr, *pprofAddr, *pprofAddr)
 	}
 
 	names := flag.Args()

@@ -1,0 +1,140 @@
+package advisor
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// testReq is a fast canonical request (a tiny planning log keeps the
+// baseline simulation well under a second).
+func testReq(t *testing.T) Request {
+	t.Helper()
+	r := Request{Machine: "Ross", PetaCycles: 2, Scale: 0.05}
+	r.Canonicalize()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("testReq invalid: %v", err)
+	}
+	return r
+}
+
+func TestCorePlanDeterministicAcrossCores(t *testing.T) {
+	req := testReq(t)
+	a, err := NewCore(CoreConfig{}).Plan(req)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	b, err := NewCore(CoreConfig{}).Plan(req)
+	if err != nil {
+		t.Fatalf("Plan (second core): %v", err)
+	}
+	if a.Text != b.Text {
+		t.Fatalf("plans differ across cores:\n%s\nvs\n%s", a.Text, b.Text)
+	}
+	if a.Degraded {
+		t.Fatal("full plan marked degraded")
+	}
+	if len(a.Candidates) == 0 || len(a.Candidates) > req.Cap {
+		t.Fatalf("candidate count %d outside (0, %d]", len(a.Candidates), req.Cap)
+	}
+	if !strings.Contains(a.Text, "Recommendation:") {
+		t.Fatalf("render missing recommendation:\n%s", a.Text)
+	}
+}
+
+func TestCorePlanMemoizesBaseline(t *testing.T) {
+	core := NewCore(CoreConfig{})
+	req := testReq(t)
+	a, err := core.Plan(req)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	// Same (seed, scale): the memoized baseline answers a different
+	// project size without a fresh simulation, and identical questions
+	// reproduce the same bytes.
+	b, err := core.Plan(req)
+	if err != nil {
+		t.Fatalf("Plan again: %v", err)
+	}
+	if a.Text != b.Text {
+		t.Fatal("repeated Plan changed bytes")
+	}
+	req2 := req
+	req2.PetaCycles = 4
+	if _, err := core.Plan(req2); err != nil {
+		t.Fatalf("Plan on shared baseline: %v", err)
+	}
+}
+
+func TestCorePlanInfeasible(t *testing.T) {
+	req := Request{Machine: "Ross", PetaCycles: 1e-9, Scale: 0.05}
+	req.Canonicalize()
+	if err := req.Validate(); err != nil {
+		t.Fatalf("request invalid: %v", err)
+	}
+	_, err := NewCore(CoreConfig{}).Plan(req)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Plan = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestCoreLabLRUBound(t *testing.T) {
+	core := NewCore(CoreConfig{MaxLabs: 2})
+	for _, seed := range []int64{1, 2, 3} {
+		core.lab(seed, 0.05)
+	}
+	core.mu.Lock()
+	n := core.labLRU.Len()
+	m := len(core.labs)
+	core.mu.Unlock()
+	if n != 2 || m != 2 {
+		t.Fatalf("lab LRU holds %d/%d entries, want 2/2", n, m)
+	}
+	// The most recent labs survive; seed 1 was evicted.
+	core.mu.Lock()
+	_, has1 := core.labs[labKey{seed: 1, scale: 0.05}]
+	_, has3 := core.labs[labKey{seed: 3, scale: 0.05}]
+	core.mu.Unlock()
+	if has1 || !has3 {
+		t.Fatalf("eviction order wrong: has1=%v has3=%v", has1, has3)
+	}
+}
+
+func TestPlanDegradedMarkedAndUncached(t *testing.T) {
+	core := NewCore(CoreConfig{})
+	req := testReq(t)
+	p, err := core.PlanDegraded(context.Background(), req)
+	if err != nil {
+		t.Fatalf("PlanDegraded: %v", err)
+	}
+	if !p.Degraded {
+		t.Fatal("fallback plan not marked degraded")
+	}
+	if !strings.Contains(p.Text, "NOTE: degraded plan") {
+		t.Fatalf("degraded render missing NOTE:\n%s", p.Text)
+	}
+	if p.Request != req {
+		t.Fatalf("degraded plan request %+v, want %+v", p.Request, req)
+	}
+}
+
+func TestPlanDegradedHonorsRequestContext(t *testing.T) {
+	core := NewCore(CoreConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := core.PlanDegraded(ctx, testReq(t))
+	if err == nil {
+		t.Fatal("PlanDegraded succeeded under a cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("PlanDegraded error = %v, want context.Canceled", err)
+	}
+}
+
+func TestPlanErrorMessage(t *testing.T) {
+	e := &PlanError{Key: "Ross|pc=2", Value: "boom"}
+	if got := e.Error(); !strings.Contains(got, "Ross|pc=2") || !strings.Contains(got, "boom") {
+		t.Fatalf("PlanError.Error() = %q", got)
+	}
+}

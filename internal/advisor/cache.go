@@ -1,0 +1,114 @@
+package advisor
+
+import (
+	"container/list"
+	"sync"
+)
+
+// call is one in-flight plan computation; waiters coalesce onto it and
+// block on done.
+type call struct {
+	done chan struct{}
+	plan *Plan
+	err  error
+}
+
+// finish publishes the result and releases every waiter.
+func (c *call) finish(p *Plan, err error) {
+	c.plan, c.err = p, err
+	close(c.done)
+}
+
+// resultCache is the LRU plan cache plus the coalescing (singleflight)
+// table in front of it. Only full (non-degraded) plans are stored: a
+// degraded answer is a budget artifact, not the canonical answer, so a
+// later request for the same key gets the real sweep (usually from the
+// background fill the degraded request left running).
+type resultCache struct {
+	mu       sync.Mutex
+	entries  map[string]*list.Element // value: *cacheEntry
+	lru      *list.List               // front = most recent
+	max      int
+	inflight map[string]*call
+}
+
+type cacheEntry struct {
+	key  string
+	plan *Plan
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		max:      max,
+		inflight: make(map[string]*call),
+	}
+}
+
+// get returns the cached plan for key, bumping its recency.
+func (rc *resultCache) get(key string) (*Plan, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	el, ok := rc.entries[key]
+	if !ok {
+		return nil, false
+	}
+	rc.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// join returns the in-flight call for key, creating one when absent. The
+// second result is true for the creator — the caller that owns the
+// computation and must eventually finish (and settle) the call.
+func (rc *resultCache) join(key string) (*call, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if c, ok := rc.inflight[key]; ok {
+		return c, false
+	}
+	c := &call{done: make(chan struct{})}
+	rc.inflight[key] = c
+	return c, true
+}
+
+// settle removes the in-flight call (after finish) and, when the plan is
+// a full sweep, stores it in the LRU.
+func (rc *resultCache) settle(key string, c *call) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	delete(rc.inflight, key)
+	if c.err != nil || c.plan == nil || c.plan.Degraded {
+		return
+	}
+	if el, ok := rc.entries[key]; ok {
+		el.Value.(*cacheEntry).plan = c.plan
+		rc.lru.MoveToFront(el)
+		return
+	}
+	rc.entries[key] = rc.lru.PushFront(&cacheEntry{key: key, plan: c.plan})
+	for rc.lru.Len() > rc.max {
+		old := rc.lru.Back()
+		rc.lru.Remove(old)
+		delete(rc.entries, old.Value.(*cacheEntry).key)
+	}
+}
+
+// abandon removes an unstarted call a shed owner created but will never
+// compute, waking any waiters with the error.
+func (rc *resultCache) abandon(key string, c *call, err error) {
+	rc.mu.Lock()
+	delete(rc.inflight, key)
+	rc.mu.Unlock()
+	c.finish(nil, err)
+}
+
+// len reports the stored-entry count (tests).
+func (rc *resultCache) len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.lru.Len()
+}

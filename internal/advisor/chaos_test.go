@@ -1,0 +1,171 @@
+package advisor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"interstitial/internal/rng"
+)
+
+// TestChaosBurstShedsPredictably fires a seeded burst of distinct
+// questions at 4× the queue bound while the planner is wedged: exactly
+// QueueBound computations are admitted, every other request is shed with
+// a typed 429, nothing panics, and the server drains cleanly afterwards.
+func TestChaosBurstShedsPredictably(t *testing.T) {
+	const bound = 2
+	p := &stubPlanner{gate: make(chan struct{})}
+	srv := newServerWith(Config{QueueBound: bound}, p)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Seeded burst: distinct petacycles (distinct canonical keys, so no
+	// coalescing masks the queue) in a deterministic shuffled order.
+	const burst = 4 * bound
+	r := rng.New(rng.DeriveSeed(42, 0))
+	pcs := make([]float64, burst)
+	for i := range pcs {
+		pcs[i] = float64(i + 1)
+	}
+	r.Shuffle(len(pcs), func(i, j int) { pcs[i], pcs[j] = pcs[j], pcs[i] })
+
+	var (
+		mu      sync.Mutex
+		byCode  = map[int]int{}
+		rejects []string
+	)
+	var wg sync.WaitGroup
+	for _, pc := range pcs {
+		wg.Add(1)
+		go func(pc float64) {
+			defer wg.Done()
+			resp, err := ts.Client().Get(planURL(ts.URL, pc))
+			if err != nil {
+				t.Errorf("burst request pc=%g: %v", pc, err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			byCode[resp.StatusCode]++
+			if resp.StatusCode != http.StatusOK {
+				rejects = append(rejects, string(body))
+				if resp.Header.Get("Retry-After") == "" {
+					t.Errorf("shed response without Retry-After: %s", body)
+				}
+			}
+		}(pc)
+	}
+
+	// The burst settles into a fixed point: `bound` owners hold slots
+	// (blocked on the wedged planner), everyone else has been shed.
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return byCode[http.StatusTooManyRequests] == burst-bound && srv.queue.depth() == bound
+	})
+	if n := srv.met.shed.Load(); n != burst-bound {
+		t.Fatalf("advisor_shed_total = %d, want %d", n, burst-bound)
+	}
+	for _, body := range rejects {
+		var e errorBody
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			t.Fatalf("shed body not typed JSON: %q", body)
+		}
+	}
+
+	// Unwedge: the admitted requests complete with full plans.
+	close(p.gate)
+	wg.Wait()
+	if byCode[http.StatusOK] != bound {
+		t.Fatalf("status codes %v, want %d OK / %d shed", byCode, bound, burst-bound)
+	}
+	if n := srv.met.panics.Load(); n != 0 {
+		t.Fatalf("advisor_panics_total = %d during burst", n)
+	}
+	if got := srv.met.admitted.Load() + srv.met.shed.Load(); got != burst {
+		t.Fatalf("admitted+shed = %d, want every request accounted (%d)", got, burst)
+	}
+
+	// Clean drain: no stuck fills, planning context cancelled after.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("Drain after burst: %v", err)
+	}
+	if srv.planCtx.Err() == nil {
+		t.Fatal("planning context still live after Drain")
+	}
+}
+
+// TestConcurrentRequestsByteIdenticalToCLI pins the tentpole determinism
+// contract: concurrent identical requests against the real service yield
+// plans byte-identical to a one-shot Core (what `advisor` prints), at
+// GOMAXPROCS 1 and at full parallelism.
+func TestConcurrentRequestsByteIdenticalToCLI(t *testing.T) {
+	req := testReq(t)
+	want, err := NewCore(CoreConfig{}).Plan(req)
+	if err != nil {
+		t.Fatalf("one-shot Plan: %v", err)
+	}
+
+	for _, procs := range []int{1, runtime.NumCPU()} {
+		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+
+			srv := NewServer(Config{Budget: 5 * time.Minute}) // never degrade here
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			url := fmt.Sprintf("%s/plan?machine=ross&petacycles=%g&scale=%g&seed=%d",
+				ts.URL, req.PetaCycles, req.Scale, req.Seed)
+
+			const clients = 8
+			texts := make([]string, clients)
+			var wg sync.WaitGroup
+			for i := 0; i < clients; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					resp, err := ts.Client().Get(url)
+					if err != nil {
+						t.Errorf("client %d: %v", i, err)
+						return
+					}
+					defer resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b, _ := io.ReadAll(resp.Body)
+						t.Errorf("client %d: %d %s", i, resp.StatusCode, b)
+						return
+					}
+					var p Plan
+					if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+						t.Errorf("client %d: %v", i, err)
+						return
+					}
+					if p.Degraded {
+						t.Errorf("client %d: degraded answer in determinism test", i)
+					}
+					texts[i] = p.Text
+				}(i)
+			}
+			wg.Wait()
+			for i, text := range texts {
+				if text != want.Text {
+					t.Fatalf("client %d bytes differ from one-shot CLI:\n%s\nvs\n%s", i, text, want.Text)
+				}
+			}
+			if err := srv.Drain(context.Background()); err != nil {
+				t.Fatalf("Drain: %v", err)
+			}
+		})
+	}
+}

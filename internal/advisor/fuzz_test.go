@@ -1,0 +1,39 @@
+package advisor
+
+import (
+	"testing"
+)
+
+// FuzzAdvisorRequest hardens the service's front door: DecodeRequest must
+// never panic on any body, an accepted request must be inside the
+// validated envelope, Canonicalize must be idempotent, and the canonical
+// Key must be stable — the coalescing and cache layers depend on it.
+func FuzzAdvisorRequest(f *testing.F) {
+	f.Add([]byte(`{"machine":"Ross","petacycles":10}`))
+	f.Add([]byte(`{"machine":"blue   mountain","petacycles":0.5,"cap":24,"seed":7,"scale":1}`))
+	f.Add([]byte(`{"machine":"Blue Pacific","petacycles":1e4}`))
+	f.Add([]byte(`{"machine":"","petacycles":-1}`))
+	f.Add([]byte(`{"petacycles":1e999}`))
+	f.Add([]byte(`{"machine":"Ross","petacycles":10,"unknown":true}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"machine":" ross ","petacycles":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRequest(data) // must not panic
+		if err != nil {
+			return
+		}
+		if verr := r.Validate(); verr != nil {
+			t.Fatalf("accepted request fails Validate: %v (%+v)", verr, r)
+		}
+		key := r.Key()
+		again := r
+		again.Canonicalize()
+		if again != r {
+			t.Fatalf("Canonicalize not idempotent: %+v -> %+v", r, again)
+		}
+		if again.Key() != key {
+			t.Fatalf("Key unstable under re-canonicalization: %q -> %q", key, again.Key())
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package advisor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"interstitial/internal/testbed"
+)
+
+// Default request parameters, applied by Canonicalize to zero fields.
+const (
+	// DefaultScale is the planning-log scale (matches the CLI's historical
+	// default: a quarter-size log is fast and stable enough to rank shapes).
+	DefaultScale = 0.25
+	// DefaultCap is the number of ranked candidates returned.
+	DefaultCap = 10
+	// DefaultSeed drives the calibrated planning log.
+	DefaultSeed = 1
+	// MaxCap bounds the candidate list: the sweep grid has 24 shapes.
+	MaxCap = 24
+	// MaxPetaCycles bounds project size so a single request can't demand
+	// an absurd sweep.
+	MaxPetaCycles = 1e4
+)
+
+// Request is one capacity-planning question: "what job shape should I
+// submit for this much work on this machine?". The canonical form —
+// machine name case-folded to its testbed spelling, zero fields filled
+// with defaults — is the coalescing and cache key, so equivalent
+// spellings of the same question cost one sweep.
+type Request struct {
+	// Machine is a testbed name ("Ross", "Blue Mountain", "Blue Pacific");
+	// matching is case- and whitespace-insensitive.
+	Machine string `json:"machine"`
+	// PetaCycles is the project size in peta-cycles (1e15 ticks).
+	PetaCycles float64 `json:"petacycles"`
+	// Cap bounds the ranked candidate list (default 10, max 24).
+	Cap int `json:"cap,omitempty"`
+	// Seed selects the calibrated planning log (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Scale resizes the planning log in (0, 1]: smaller is faster and
+	// noisier, 1 plans on the paper-scale log (default 0.25).
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// canonicalName folds a user spelling onto the testbed name: case and
+// internal/surrounding whitespace are insignificant ("blue  mountain" ->
+// "Blue Mountain"). Returns "" when nothing matches.
+func canonicalName(name string) string {
+	fold := strings.Join(strings.Fields(strings.ToLower(name)), " ")
+	for _, s := range testbed.All() {
+		if strings.ToLower(s.Name) == fold {
+			return s.Name
+		}
+	}
+	return ""
+}
+
+// Canonicalize normalizes the request in place: the machine name snaps to
+// its testbed spelling when one matches (an unmatched name is left as-is
+// for Validate to report) and zero Cap/Seed/Scale take their defaults.
+// Canonicalize is idempotent: applying it twice is the identity on the
+// first application's result (fuzzed).
+func (r *Request) Canonicalize() {
+	if c := canonicalName(r.Machine); c != "" {
+		r.Machine = c
+	}
+	if r.Cap == 0 {
+		r.Cap = DefaultCap
+	}
+	if r.Seed == 0 {
+		r.Seed = DefaultSeed
+	}
+	if r.Scale == 0 {
+		r.Scale = DefaultScale
+	}
+}
+
+// Validate rejects requests outside the serviceable envelope. It assumes
+// Canonicalize ran first (defaults filled); errors name the offending
+// field the way the CLI's flag errors do.
+func (r *Request) Validate() error {
+	if canonicalName(r.Machine) == "" {
+		return fmt.Errorf("unknown machine %q (want Ross, Blue Mountain, or Blue Pacific)", r.Machine)
+	}
+	if math.IsNaN(r.PetaCycles) || math.IsInf(r.PetaCycles, 0) || r.PetaCycles <= 0 {
+		return fmt.Errorf("petacycles %v is not positive and finite", r.PetaCycles)
+	}
+	if r.PetaCycles > MaxPetaCycles {
+		return fmt.Errorf("petacycles %v exceeds the %v maximum", r.PetaCycles, float64(MaxPetaCycles))
+	}
+	if r.Cap < 1 || r.Cap > MaxCap {
+		return fmt.Errorf("cap %d outside [1, %d]", r.Cap, MaxCap)
+	}
+	if r.Seed < 0 {
+		return fmt.Errorf("seed %d is negative", r.Seed)
+	}
+	if math.IsNaN(r.Scale) || r.Scale <= 0 || r.Scale > 1 {
+		return fmt.Errorf("scale %v outside (0, 1]", r.Scale)
+	}
+	return nil
+}
+
+// Key renders the canonical cache/coalescing key. Only meaningful after
+// Canonicalize: two requests asking the same canonical question produce
+// equal keys.
+func (r Request) Key() string {
+	return fmt.Sprintf("%s|pc=%g|cap=%d|seed=%d|scale=%g",
+		r.Machine, r.PetaCycles, r.Cap, r.Seed, r.Scale)
+}
+
+// maxRequestBytes bounds a JSON request body; a planning question is a
+// handful of scalars, so anything larger is garbage or abuse.
+const maxRequestBytes = 1 << 16
+
+// DecodeRequest parses, canonicalizes, and validates a JSON request body.
+// It never panics on any input (fuzzed) and rejects unknown fields so a
+// misspelled parameter fails loudly instead of silently planning with a
+// default.
+func DecodeRequest(data []byte) (Request, error) {
+	var r Request
+	if len(data) > maxRequestBytes {
+		return r, fmt.Errorf("request body over %d bytes", maxRequestBytes)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return r, fmt.Errorf("bad request JSON: %v", err)
+	}
+	r.Canonicalize()
+	if err := r.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// ParseQuery builds a request from URL query parameters (the curl-friendly
+// GET form): machine, petacycles, cap, seed, scale.
+func ParseQuery(q url.Values) (Request, error) {
+	var r Request
+	r.Machine = q.Get("machine")
+	var err error
+	parseF := func(key string, dst *float64) {
+		if v := q.Get(key); v != "" && err == nil {
+			if *dst, err = strconv.ParseFloat(v, 64); err != nil {
+				err = fmt.Errorf("bad %s %q", key, v)
+			}
+		}
+	}
+	parseF("petacycles", &r.PetaCycles)
+	parseF("scale", &r.Scale)
+	if v := q.Get("cap"); v != "" && err == nil {
+		if r.Cap, err = strconv.Atoi(v); err != nil {
+			err = fmt.Errorf("bad cap %q", v)
+		}
+	}
+	if v := q.Get("seed"); v != "" && err == nil {
+		if r.Seed, err = strconv.ParseInt(v, 10, 64); err != nil {
+			err = fmt.Errorf("bad seed %q", v)
+		}
+	}
+	if err != nil {
+		return r, err
+	}
+	r.Canonicalize()
+	if err := r.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}

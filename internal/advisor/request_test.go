@@ -1,0 +1,128 @@
+package advisor
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func TestCanonicalizeSnapsMachineAndFillsDefaults(t *testing.T) {
+	r := Request{Machine: "  blue   MOUNTAIN ", PetaCycles: 10}
+	r.Canonicalize()
+	if r.Machine != "Blue Mountain" {
+		t.Fatalf("machine = %q, want Blue Mountain", r.Machine)
+	}
+	if r.Cap != DefaultCap || r.Seed != DefaultSeed || r.Scale != DefaultScale {
+		t.Fatalf("defaults not filled: %+v", r)
+	}
+	before := r
+	r.Canonicalize()
+	if r != before {
+		t.Fatalf("Canonicalize not idempotent: %+v -> %+v", before, r)
+	}
+}
+
+func TestCanonicalizeLeavesUnknownMachine(t *testing.T) {
+	r := Request{Machine: "Cray XK7", PetaCycles: 1}
+	r.Canonicalize()
+	if r.Machine != "Cray XK7" {
+		t.Fatalf("machine = %q, want untouched", r.Machine)
+	}
+	if err := r.Validate(); err == nil || !strings.Contains(err.Error(), "unknown machine") {
+		t.Fatalf("Validate = %v, want unknown machine", err)
+	}
+}
+
+func TestValidateRejectsOutOfEnvelope(t *testing.T) {
+	base := func() Request {
+		r := Request{Machine: "Ross", PetaCycles: 10}
+		r.Canonicalize()
+		return r
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Request)
+		want   string
+	}{
+		{"zero petacycles", func(r *Request) { r.PetaCycles = 0 }, "not positive"},
+		{"negative petacycles", func(r *Request) { r.PetaCycles = -1 }, "not positive"},
+		{"huge petacycles", func(r *Request) { r.PetaCycles = 2e4 }, "maximum"},
+		{"cap too low", func(r *Request) { r.Cap = -1 }, "cap"},
+		{"cap too high", func(r *Request) { r.Cap = MaxCap + 1 }, "cap"},
+		{"negative seed", func(r *Request) { r.Seed = -3 }, "seed"},
+		{"scale zero", func(r *Request) { r.Scale = -0.5 }, "scale"},
+		{"scale over one", func(r *Request) { r.Scale = 1.5 }, "scale"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := base()
+			tc.mutate(&r)
+			err := r.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate(%+v) = %v, want error containing %q", r, err, tc.want)
+			}
+		})
+	}
+	r := base()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate(canonical) = %v", err)
+	}
+}
+
+func TestKeyEqualForEquivalentSpellings(t *testing.T) {
+	a := Request{Machine: "ross", PetaCycles: 10}
+	b := Request{Machine: " ROSS ", PetaCycles: 10, Cap: DefaultCap, Seed: DefaultSeed, Scale: DefaultScale}
+	a.Canonicalize()
+	b.Canonicalize()
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	c := a
+	c.Seed = 7
+	if a.Key() == c.Key() {
+		t.Fatalf("distinct seeds share key %q", a.Key())
+	}
+}
+
+func TestDecodeRequest(t *testing.T) {
+	r, err := DecodeRequest([]byte(`{"machine":"blue pacific","petacycles":5,"seed":3}`))
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if r.Machine != "Blue Pacific" || r.Seed != 3 || r.Scale != DefaultScale {
+		t.Fatalf("decoded %+v", r)
+	}
+	if _, err := DecodeRequest([]byte(`{"machine":"Ross","petacycles":5,"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := DecodeRequest([]byte(`{"machine":"Ross"}`)); err == nil {
+		t.Fatal("missing petacycles accepted")
+	}
+	big := append([]byte(`{"machine":"`), make([]byte, maxRequestBytes)...)
+	if _, err := DecodeRequest(big); err == nil {
+		t.Fatal("oversized body accepted")
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	r, err := ParseQuery(url.Values{
+		"machine": {"Ross"}, "petacycles": {"2.5"}, "cap": {"3"}, "seed": {"9"}, "scale": {"0.1"},
+	})
+	if err != nil {
+		t.Fatalf("ParseQuery: %v", err)
+	}
+	want := Request{Machine: "Ross", PetaCycles: 2.5, Cap: 3, Seed: 9, Scale: 0.1}
+	if r != want {
+		t.Fatalf("ParseQuery = %+v, want %+v", r, want)
+	}
+	for _, bad := range []url.Values{
+		{"machine": {"Ross"}, "petacycles": {"ten"}},
+		{"machine": {"Ross"}, "petacycles": {"1"}, "cap": {"x"}},
+		{"machine": {"Ross"}, "petacycles": {"1"}, "seed": {"1.5"}},
+		{"machine": {"Ross"}, "petacycles": {"1"}, "scale": {"big"}},
+	} {
+		if _, err := ParseQuery(bad); err == nil {
+			t.Fatalf("ParseQuery(%v) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package advisor
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"interstitial/internal/obs"
+)
+
+// Config tunes the advisor service. The zero value gets serviceable
+// defaults (see NewServer).
+type Config struct {
+	// QueueBound caps concurrently admitted plan computations; requests
+	// past it are shed with 429 + Retry-After (default 4).
+	QueueBound int
+	// TenantRate is each tenant's sustained request rate in requests/sec;
+	// <= 0 disables per-tenant limiting (default 0 — rely on the queue).
+	TenantRate float64
+	// TenantBurst is the token-bucket depth (default 2×rate, min 1).
+	TenantBurst int
+	// MaxTenants bounds the token-bucket map (default 1024).
+	MaxTenants int
+	// CacheEntries bounds the plan LRU (default 256).
+	CacheEntries int
+	// MaxLabs bounds the distinct (seed, scale) planning labs (default 8).
+	MaxLabs int
+	// Budget is the per-request full-sweep budget: past it the request is
+	// answered with a degraded fallback plan instead of waiting (default
+	// 2s). Clients may lower it per request with ?budget_ms=N.
+	Budget time.Duration
+	// DegradedScale is the fallback planning-log scale (default 0.02).
+	DegradedScale float64
+	// ShedRetryAfter is the Retry-After hint on queue-full sheds
+	// (default 1s).
+	ShedRetryAfter time.Duration
+	// Now is the admission clock (default time.Now; injected in tests).
+	Now func() time.Time
+	// Reg receives the service metrics (default: a fresh registry).
+	Reg *obs.Registry
+}
+
+// planner computes plans; the production implementation is *Core, and
+// chaos tests substitute a controllable stub.
+type planner interface {
+	Plan(req Request) (*Plan, error)
+	PlanDegraded(ctx context.Context, req Request) (*Plan, error)
+}
+
+// Server is the hardened multi-tenant advisor service. Request path:
+// admission (per-tenant token bucket) → cache → coalesce → bounded work
+// queue → planning core, with a degraded fallback past the budget and a
+// panic shield around every handler. See DESIGN.md §14.
+type Server struct {
+	cfg     Config
+	planner planner
+	met     *metrics
+	buckets *bucketSet
+	queue   *slotQueue
+	cache   *resultCache
+	mux     *http.ServeMux
+
+	ready    atomic.Bool
+	draining atomic.Bool
+	admitMu  sync.Mutex     // serializes wg.Add vs the drain barrier
+	wg       sync.WaitGroup // in-flight plan computations (background fills)
+
+	planCtx    context.Context
+	planCancel context.CancelFunc
+}
+
+// NewServer builds a service around a fresh planning Core.
+func NewServer(cfg Config) *Server {
+	s := newServerShell(cfg)
+	s.planner = NewCore(CoreConfig{
+		Ctx:           s.planCtx,
+		MaxLabs:       s.cfg.MaxLabs,
+		DegradedScale: s.cfg.DegradedScale,
+	})
+	return s
+}
+
+// newServerWith is the test constructor: same shell, caller's planner.
+func newServerWith(cfg Config, p planner) *Server {
+	s := newServerShell(cfg)
+	s.planner = p
+	return s
+}
+
+func newServerShell(cfg Config) *Server {
+	if cfg.QueueBound <= 0 {
+		cfg.QueueBound = 4
+	}
+	if cfg.TenantBurst <= 0 {
+		cfg.TenantBurst = int(2 * cfg.TenantRate)
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 1024
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 2 * time.Second
+	}
+	if cfg.ShedRetryAfter <= 0 {
+		cfg.ShedRetryAfter = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		met:        newMetrics(cfg.Reg),
+		buckets:    newBucketSet(cfg.TenantRate, cfg.TenantBurst, cfg.MaxTenants, cfg.Now),
+		queue:      newSlotQueue(cfg.QueueBound),
+		cache:      newResultCache(cfg.CacheEntries),
+		mux:        http.NewServeMux(),
+		planCtx:    ctx,
+		planCancel: cancel,
+	}
+	s.mux.HandleFunc("/plan", s.shield(s.handlePlan))
+	s.mux.HandleFunc("/healthz", s.shield(s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.shield(s.handleReadyz))
+	s.mux.Handle("/metrics", s.met.reg.Handler())
+	s.ready.Store(true)
+	return s
+}
+
+// Handler returns the service's HTTP mux (/plan, /healthz, /readyz,
+// /metrics).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the service's registry (for folding into a larger one
+// or for test assertions).
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
+
+// BeginDrain flips /readyz to 503 so load balancers stop routing here;
+// in-flight requests keep running.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.ready.Store(false)
+}
+
+// Drain completes a graceful shutdown: stop admitting (BeginDrain), wait
+// for every in-flight plan computation — including background fills left
+// by degraded answers — then cancel the planning context. A ctx deadline
+// bounds the wait; on expiry the planning context is cancelled anyway so
+// stragglers abort cooperatively, and ctx's error is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	// Barrier: any owner that passed the draining check is inside admitMu
+	// until its wg.Add lands, so after this lock/unlock no new computation
+	// can join the group and Wait cannot race an Add from zero.
+	s.admitMu.Lock()
+	s.admitMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.planCancel()
+	return err
+}
+
+// shield converts a handler panic into a typed 500 instead of letting
+// net/http kill the connection (and, under test servers, the process).
+func (s *Server) shield(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.met.panics.Inc()
+				writeJSONError(w, http.StatusInternalServerError,
+					fmt.Sprintf("internal panic: %v", v), 0)
+				debug.PrintStack()
+			}
+		}()
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// tenantOf extracts the tenant identity: X-Advisor-Tenant header, then
+// ?tenant=, then "anon".
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Advisor-Tenant"); t != "" {
+		return t
+	}
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	return "anon"
+}
+
+// budgetOf resolves the request's full-sweep budget: ?budget_ms=N (or the
+// X-Advisor-Budget-Ms header) clamped to [1ms, cfg.Budget]; absent or
+// unparsable values mean the configured default.
+func (s *Server) budgetOf(r *http.Request) time.Duration {
+	v := r.URL.Query().Get("budget_ms")
+	if v == "" {
+		v = r.Header.Get("X-Advisor-Budget-Ms")
+	}
+	if v == "" {
+		return s.cfg.Budget
+	}
+	ms, err := strconv.Atoi(v)
+	if err != nil || ms < 1 {
+		return s.cfg.Budget
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.Budget {
+		d = s.cfg.Budget
+	}
+	return d
+}
+
+// parsePlanRequest decodes GET query parameters or a POST JSON body into
+// a canonical, validated request.
+func parsePlanRequest(r *http.Request) (Request, error) {
+	switch r.Method {
+	case http.MethodGet:
+		return ParseQuery(r.URL.Query())
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxRequestBytes))
+		if err != nil {
+			return Request{}, fmt.Errorf("reading body: %v", err)
+		}
+		return DecodeRequest(body)
+	default:
+		return Request{}, fmt.Errorf("method %s not allowed (use GET or POST)", r.Method)
+	}
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Inc()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	if !s.ready.Load() {
+		writeJSONError(w, http.StatusServiceUnavailable, "draining", s.cfg.ShedRetryAfter)
+		return
+	}
+	req, err := parsePlanRequest(r)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	tenant := tenantOf(r)
+	tm := s.met.tenant(tenant)
+
+	// Admission gate 1: per-tenant token bucket.
+	if wait := s.buckets.take(tenant); wait > 0 {
+		s.met.shed.Inc()
+		tm.shed.Inc()
+		writeJSONError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q over rate", tenant), wait)
+		return
+	}
+
+	// Cache: an identical canonical question already answered.
+	key := req.Key()
+	if p, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Inc()
+		writeJSON(w, http.StatusOK, p)
+		return
+	}
+
+	// Coalesce: join an identical in-flight computation, or own a new one.
+	c, owner := s.cache.join(key)
+	if owner {
+		// Admission gate 2: the bounded work queue. Only owners consume a
+		// slot — joiners ride along for free.
+		if !s.queue.tryAcquire() {
+			s.cache.abandon(key, c, fmt.Errorf("queue full"))
+			s.met.shed.Inc()
+			tm.shed.Inc()
+			writeJSONError(w, http.StatusTooManyRequests, "work queue full", s.cfg.ShedRetryAfter)
+			return
+		}
+		// Re-check draining under admitMu so wg.Add never races Drain's
+		// Wait: past the barrier in Drain, no new member can join.
+		s.admitMu.Lock()
+		if s.draining.Load() {
+			s.admitMu.Unlock()
+			s.queue.release()
+			s.cache.abandon(key, c, fmt.Errorf("draining"))
+			writeJSONError(w, http.StatusServiceUnavailable, "draining", s.cfg.ShedRetryAfter)
+			return
+		}
+		s.met.admitted.Inc()
+		tm.admitted.Inc()
+		s.wg.Add(1)
+		s.admitMu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			defer s.queue.release()
+			p, err := s.planShielded(req)
+			c.finish(p, err)
+			s.cache.settle(key, c)
+		}()
+	} else {
+		s.met.coalesced.Inc()
+		tm.coalesced.Inc()
+	}
+
+	// Wait for the sweep, degrade past the budget, bail if the client goes.
+	budget := time.NewTimer(s.budgetOf(r))
+	defer budget.Stop()
+	select {
+	case <-c.done:
+		s.respondPlan(w, c.plan, c.err)
+	case <-budget.C:
+		dp, derr := s.planner.PlanDegraded(r.Context(), req)
+		if derr != nil {
+			// The fallback itself failed (e.g. the client vanished). If
+			// the full sweep happened to finish meanwhile, serve it.
+			select {
+			case <-c.done:
+				s.respondPlan(w, c.plan, c.err)
+			default:
+				writeJSONError(w, http.StatusServiceUnavailable,
+					fmt.Sprintf("over budget and fallback failed: %v", derr), s.cfg.ShedRetryAfter)
+			}
+			return
+		}
+		s.met.degraded.Inc()
+		tm.degraded.Inc()
+		writeJSON(w, http.StatusOK, dp)
+	case <-r.Context().Done():
+		// Client gone; the owner (if any) still settles the cache.
+		writeJSONError(w, http.StatusServiceUnavailable, "client cancelled", 0)
+	}
+}
+
+// planShielded runs the full sweep, converting panics to *PlanError (the
+// Core already shields its own path; this also covers test planners) and
+// counting them.
+func (s *Server) planShielded(req Request) (p *Plan, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PlanError{Key: req.Key(), Value: v, Stack: debug.Stack()}
+		}
+		if _, ok := err.(*PlanError); ok {
+			s.met.panics.Inc()
+		}
+	}()
+	return s.planner.Plan(req)
+}
+
+// respondPlan maps a finished computation onto the wire.
+func (s *Server) respondPlan(w http.ResponseWriter, p *Plan, err error) {
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, p)
+	case errors.Is(err, ErrInfeasible):
+		writeJSONError(w, http.StatusUnprocessableEntity, err.Error(), 0)
+	case isCancellation(err):
+		writeJSONError(w, http.StatusServiceUnavailable, "planning aborted: "+err.Error(), s.cfg.ShedRetryAfter)
+	default:
+		writeJSONError(w, http.StatusInternalServerError, err.Error(), 0)
+	}
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// errorBody is the wire form of every non-200 answer.
+type errorBody struct {
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int64(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, code, errorBody{Error: msg, RetryAfterMS: int64(retryAfter / time.Millisecond)})
+}

@@ -1,0 +1,472 @@
+package advisor
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubPlanner is a controllable planner for exercising the service layer
+// without real simulations: Plan blocks on gate (when set), counts calls,
+// and can panic or fail on demand.
+type stubPlanner struct {
+	gate       chan struct{} // Plan waits for this to close (nil: no wait)
+	calls      atomic.Int64
+	degCalls   atomic.Int64
+	err        error
+	panicFirst string // non-empty: the first Plan call panics with this
+}
+
+func stubPlan(req Request, degraded bool) *Plan {
+	return &Plan{
+		Request: req, MachineCPUs: 128, ClockGHz: 0.5, NativeUtil: 0.8,
+		Candidates: []Candidate{{CPUs: 1, Sec1GHz: 60, Jobs: 42, MakespanH: 1}},
+		Degraded:   degraded,
+		Text:       "plan for " + req.Key() + "\n",
+	}
+}
+
+func (p *stubPlanner) Plan(req Request) (*Plan, error) {
+	n := p.calls.Add(1)
+	if p.gate != nil {
+		<-p.gate
+	}
+	if p.panicFirst != "" && n == 1 {
+		panic(p.panicFirst)
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	return stubPlan(req, false), nil
+}
+
+func (p *stubPlanner) PlanDegraded(ctx context.Context, req Request) (*Plan, error) {
+	p.degCalls.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return stubPlan(req, true), nil
+}
+
+func planURL(base string, petacycles float64) string {
+	return fmt.Sprintf("%s/plan?machine=Ross&petacycles=%g&scale=0.05", base, petacycles)
+}
+
+func getBody(t *testing.T, client *http.Client, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(b), resp.Header
+}
+
+func decodePlan(t *testing.T, body string) *Plan {
+	t.Helper()
+	var p Plan
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("bad plan JSON: %v\n%s", err, body)
+	}
+	return &p
+}
+
+func TestServerHealthAndReadiness(t *testing.T) {
+	srv := newServerWith(Config{}, &stubPlanner{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, body, _ := getBody(t, ts.Client(), ts.URL+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	if code, body, _ := getBody(t, ts.Client(), ts.URL+"/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Fatalf("readyz = %d %q", code, body)
+	}
+	srv.BeginDrain()
+	if code, body, _ := getBody(t, ts.Client(), ts.URL+"/readyz"); code != 503 || !strings.Contains(body, "draining") {
+		t.Fatalf("readyz while draining = %d %q", code, body)
+	}
+	// healthz stays green: the process is alive, just not accepting work.
+	if code, _, _ := getBody(t, ts.Client(), ts.URL+"/healthz"); code != 200 {
+		t.Fatalf("healthz while draining = %d", code)
+	}
+	if code, _, _ := getBody(t, ts.Client(), planURL(ts.URL, 1)); code != 503 {
+		t.Fatalf("plan while draining = %d, want 503", code)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	srv := newServerWith(Config{}, &stubPlanner{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, u := range []string{
+		ts.URL + "/plan",                                  // no machine
+		ts.URL + "/plan?machine=Ross",                     // no petacycles
+		ts.URL + "/plan?machine=Nope&petacycles=1",        // unknown machine
+		ts.URL + "/plan?machine=Ross&petacycles=-1",       // bad size
+		ts.URL + "/plan?machine=Ross&petacycles=1&cap=99", // bad cap
+	} {
+		code, body, _ := getBody(t, ts.Client(), u)
+		if code != 400 {
+			t.Errorf("GET %s = %d %q, want 400", u, code, body)
+		}
+		var e errorBody
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			t.Errorf("GET %s: error body not typed JSON: %q", u, body)
+		}
+	}
+
+	resp, err := ts.Client().Post(ts.URL+"/plan", "application/json",
+		strings.NewReader(`{"machine":"Ross","petacycles":1,"mystery":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("POST with unknown field = %d, want 400", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/plan", nil)
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("DELETE = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerPlanAndCacheHit(t *testing.T) {
+	p := &stubPlanner{}
+	srv := newServerWith(Config{}, p)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body, _ := getBody(t, ts.Client(), planURL(ts.URL, 2))
+	if code != 200 {
+		t.Fatalf("plan = %d %q", code, body)
+	}
+	first := decodePlan(t, body)
+	if first.Degraded {
+		t.Fatal("full plan marked degraded")
+	}
+
+	code, body2, _ := getBody(t, ts.Client(), planURL(ts.URL, 2))
+	if code != 200 || body2 != body {
+		t.Fatalf("cached answer differs: %d\n%q\nvs\n%q", code, body2, body)
+	}
+	if n := p.calls.Load(); n != 1 {
+		t.Fatalf("planner called %d times, want 1 (second answer from cache)", n)
+	}
+	if n := srv.met.cacheHits.Load(); n != 1 {
+		t.Fatalf("advisor_cache_hits_total = %d, want 1", n)
+	}
+}
+
+func TestServerShedsWhenQueueFull(t *testing.T) {
+	p := &stubPlanner{gate: make(chan struct{})}
+	srv := newServerWith(Config{QueueBound: 1}, p)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Occupy the only slot with a request the stub holds open.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		code, _, _ := getBody(t, ts.Client(), planURL(ts.URL, 1))
+		if code != 200 {
+			t.Errorf("held request finished %d, want 200", code)
+		}
+	}()
+	waitFor(t, func() bool { return srv.queue.depth() == 1 })
+
+	// A different question now finds the queue full: shed, typed 429.
+	code, body, hdr := getBody(t, ts.Client(), planURL(ts.URL, 99))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity request = %d %q, want 429", code, body)
+	}
+	if ra := hdr.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var e errorBody
+	if err := json.Unmarshal([]byte(body), &e); err != nil || !strings.Contains(e.Error, "queue full") {
+		t.Fatalf("shed body = %q", body)
+	}
+	if n := srv.met.shed.Load(); n != 1 {
+		t.Fatalf("advisor_shed_total = %d, want 1", n)
+	}
+	// The shed key was abandoned, not leaked: asking again after capacity
+	// frees succeeds.
+	close(p.gate)
+	<-done
+	if code, _, _ := getBody(t, ts.Client(), planURL(ts.URL, 99)); code != 200 {
+		t.Fatalf("retry after shed = %d, want 200", code)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func TestServerPerTenantRateLimit(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1700000000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+	srv := newServerWith(Config{
+		TenantRate: 1, TenantBurst: 2,
+		Now: clock,
+	}, &stubPlanner{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(tenant string, pc float64) (int, http.Header) {
+		req, _ := http.NewRequest(http.MethodGet, planURL(ts.URL, pc), nil)
+		req.Header.Set("X-Advisor-Tenant", tenant)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header
+	}
+
+	// Burst of 2 admitted; the third is over rate. Distinct petacycles so
+	// the cache never answers (cache hits bypass admission accounting).
+	if code, _ := get("alice", 1); code != 200 {
+		t.Fatalf("first = %d", code)
+	}
+	if code, _ := get("alice", 2); code != 200 {
+		t.Fatalf("second = %d", code)
+	}
+	code, hdr := get("alice", 3)
+	if code != 429 {
+		t.Fatalf("third = %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("rate shed without Retry-After")
+	}
+	// Another tenant has its own bucket.
+	if code, _ := get("bob", 4); code != 200 {
+		t.Fatalf("bob = %d, want 200", code)
+	}
+	// Advancing the injected clock refills alice.
+	advance(3 * time.Second)
+	if code, _ := get("alice", 5); code != 200 {
+		t.Fatalf("alice after refill = %d, want 200", code)
+	}
+	// Per-tenant ledger saw the shed.
+	snap := srv.Metrics().Snapshot()
+	if m, ok := snap.Get("advisor_tenant_alice_shed_total"); !ok || m.Value != 1 {
+		t.Fatalf("advisor_tenant_alice_shed_total = %+v, want 1", m)
+	}
+	if m, ok := snap.Get("advisor_tenant_bob_admitted_total"); !ok || m.Value != 1 {
+		t.Fatalf("advisor_tenant_bob_admitted_total = %+v, want 1", m)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func TestServerCoalescesIdenticalRequests(t *testing.T) {
+	p := &stubPlanner{gate: make(chan struct{})}
+	srv := newServerWith(Config{QueueBound: 2}, p)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const waiters = 4
+	bodies := make([]string, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body, _ := getBody(t, ts.Client(), planURL(ts.URL, 7))
+			if code != 200 {
+				t.Errorf("waiter %d: %d %q", i, code, body)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	// All identical questions coalesce onto one computation: exactly one
+	// planner call, one queue slot, the rest counted as coalesced.
+	waitFor(t, func() bool { return srv.met.coalesced.Load() == waiters-1 })
+	close(p.gate)
+	wg.Wait()
+	for i := 1; i < waiters; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("waiter %d got different bytes", i)
+		}
+	}
+	if n := p.calls.Load(); n != 1 {
+		t.Fatalf("planner called %d times for %d identical requests", n, waiters)
+	}
+	if n := srv.met.admitted.Load(); n != 1 {
+		t.Fatalf("advisor_admitted_total = %d, want 1", n)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func TestServerDegradesPastBudget(t *testing.T) {
+	p := &stubPlanner{gate: make(chan struct{})}
+	srv := newServerWith(Config{Budget: time.Minute}, p)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The full sweep is stuck; a 10ms budget forces the fallback.
+	code, body, _ := getBody(t, ts.Client(), planURL(ts.URL, 3)+"&budget_ms=10")
+	if code != 200 {
+		t.Fatalf("degraded answer = %d %q", code, body)
+	}
+	dp := decodePlan(t, body)
+	if !dp.Degraded {
+		t.Fatalf("over-budget answer not marked degraded: %s", body)
+	}
+	if n := srv.met.degraded.Load(); n != 1 {
+		t.Fatalf("advisor_degraded_total = %d, want 1", n)
+	}
+
+	// The full sweep still settles the cache in the background; once it
+	// lands, the same question is answered full-fidelity from cache.
+	close(p.gate)
+	waitFor(t, func() bool { _, ok := srv.cache.get(mustReq(t, 3).Key()); return ok })
+	code, body, _ = getBody(t, ts.Client(), planURL(ts.URL, 3))
+	if code != 200 {
+		t.Fatalf("follow-up = %d", code)
+	}
+	if fp := decodePlan(t, body); fp.Degraded {
+		t.Fatal("cache served the degraded plan")
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func TestServerPanicIsolatedAsTyped500(t *testing.T) {
+	p := &stubPlanner{panicFirst: "planner exploded"}
+	srv := newServerWith(Config{}, p)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body, _ := getBody(t, ts.Client(), planURL(ts.URL, 1))
+	if code != 500 {
+		t.Fatalf("panicking plan = %d %q, want 500", code, body)
+	}
+	var e errorBody
+	if err := json.Unmarshal([]byte(body), &e); err != nil || !strings.Contains(e.Error, "panicked") {
+		t.Fatalf("500 body = %q, want typed PlanError message", body)
+	}
+	if n := srv.met.panics.Load(); n != 1 {
+		t.Fatalf("advisor_panics_total = %d, want 1", n)
+	}
+	// The server survives: the next (different) request plans fine.
+	if code, _, _ := getBody(t, ts.Client(), planURL(ts.URL, 2)); code != 200 {
+		t.Fatalf("request after panic = %d, want 200", code)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	srv := newServerWith(Config{}, &stubPlanner{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, _, _ := getBody(t, ts.Client(), planURL(ts.URL, 1)); code != 200 {
+		t.Fatal("seed request failed")
+	}
+	code, body, hdr := getBody(t, ts.Client(), ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	for _, want := range []string{
+		"advisor_requests_total 1", // only /plan requests count
+		"advisor_admitted_total 1",
+		"advisor_shed_total 0",
+		"advisor_tenant_anon_admitted_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestServerDrainWaitsForInflight(t *testing.T) {
+	p := &stubPlanner{gate: make(chan struct{})}
+	srv := newServerWith(Config{}, p)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		code, _, _ := getBody(t, ts.Client(), planURL(ts.URL, 1))
+		if code != 200 {
+			t.Errorf("in-flight request = %d, want 200", code)
+		}
+	}()
+	waitFor(t, func() bool { return srv.queue.depth() == 1 })
+
+	// Drain with a short deadline while the planner is stuck: times out.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	err := srv.Drain(ctx)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stuck Drain = %v, want deadline exceeded", err)
+	}
+
+	// Unstick and drain for real; the in-flight request completes.
+	close(p.gate)
+	<-done
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after unstick: %v", err)
+	}
+}
+
+// mustReq builds the canonical request planURL(pc) sends.
+func mustReq(t *testing.T, pc float64) Request {
+	t.Helper()
+	r := Request{Machine: "Ross", PetaCycles: pc, Scale: 0.05}
+	r.Canonicalize()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// waitFor polls cond to avoid wall-clock assumptions in concurrency tests.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}

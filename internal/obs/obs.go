@@ -23,11 +23,13 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"sort"
 	"strconv"
 	"sync"
@@ -359,6 +361,23 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
+}
+
+// Handler returns an http.Handler serving the registry's live snapshot in
+// Prometheus text exposition format — the same bytes WriteText renders —
+// so a daemon can mount the registry at /metrics and be scraped. Each
+// request takes a fresh snapshot; the render is buffered so a write error
+// mid-export can't leave a truncated body claiming success.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if err := r.Snapshot().WriteText(&buf); err != nil {
+			http.Error(w, "obs: render: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
 }
 
 // expvarPublished guards against double-publishing (expvar.Publish panics

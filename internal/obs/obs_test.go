@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -307,5 +308,34 @@ func TestCounterGaugeMaxBasics(t *testing.T) {
 	m.Observe(2)
 	if m.Load() != 5 {
 		t.Errorf("max = %d, want 5", m.Load())
+	}
+}
+
+// TestHandlerServesPrometheusText mounts the registry handler and checks
+// the response is exactly the WriteText render of a live snapshot, with
+// the Prometheus text content type.
+func TestHandlerServesPrometheusText(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("handler_hits_total", "requests served")
+	c.Add(7)
+	reg.Gauge("handler_depth", "").Set(-2)
+
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var want strings.Builder
+	if err := reg.Snapshot().WriteText(&want); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Body.String() != want.String() {
+		t.Fatalf("handler body:\n%s\nwant WriteText render:\n%s", rec.Body.String(), want.String())
+	}
+	if !strings.Contains(rec.Body.String(), "handler_hits_total 7") {
+		t.Fatalf("body missing counter line:\n%s", rec.Body.String())
 	}
 }

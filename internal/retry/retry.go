@@ -1,0 +1,155 @@
+// Package retry is a deterministic jittered-backoff helper for clients of
+// the advisor service (and anything else that retries transient failures).
+//
+// Determinism contract: a Policy's delay sequence is a pure function of
+// (seed, attempt) — jitter is drawn from rng.DeriveSeed, never from wall
+// clocks or global randomness — so tests replay exact schedules and two
+// clients with different seeds decorrelate instead of thundering in
+// lockstep. Do sleeps through an injectable Sleeper, so the whole retry
+// loop is testable without ever touching a real clock.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"interstitial/internal/rng"
+)
+
+// Policy is capped exponential backoff with deterministic "equal jitter":
+// the delay before retrying attempt a (0-based) is drawn uniformly from
+// [ceil/2, ceil] where ceil = min(Cap, Base·Factor^a). The draw comes from
+// an RNG seeded with DeriveSeed(seed, a), so Delay is a pure function of
+// the policy and the attempt index.
+type Policy struct {
+	// Base is the backoff ceiling for attempt 0. Must be positive.
+	Base time.Duration
+	// Cap bounds the ceiling growth. Must be >= Base.
+	Cap time.Duration
+	// Factor is the per-attempt ceiling multiplier (>= 1; 2 is typical).
+	Factor float64
+	// seed drives the jitter stream (see NewPolicy).
+	seed int64
+}
+
+// NewPolicy builds a policy whose jitter stream is derived from (seed,
+// stream) via rng.DeriveSeed, so distinct clients (distinct streams) of
+// the same base seed back off on uncorrelated schedules.
+func NewPolicy(base, cap time.Duration, factor float64, seed int64, stream uint64) Policy {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	if factor < 1 {
+		factor = 2
+	}
+	return Policy{Base: base, Cap: cap, Factor: factor, seed: rng.DeriveSeed(seed, stream)}
+}
+
+// Delay returns the pause before retrying attempt (0-based). Pure:
+// the same policy and attempt always produce the same duration.
+func (p Policy) Delay(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	ceil := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		ceil *= p.Factor
+		if ceil >= float64(p.Cap) {
+			ceil = float64(p.Cap)
+			break
+		}
+	}
+	if ceil > float64(p.Cap) {
+		ceil = float64(p.Cap)
+	}
+	half := int64(ceil) / 2
+	r := rng.New(rng.DeriveSeed(p.seed, uint64(attempt)))
+	return time.Duration(half + r.Int63n(half+1))
+}
+
+// transientError marks an error as retryable, optionally carrying a
+// server-provided hint (e.g. an HTTP Retry-After) that overrides the
+// policy delay when longer.
+type transientError struct {
+	err  error
+	hint time.Duration
+}
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err as retryable.
+func Transient(err error) error { return &transientError{err: err} }
+
+// TransientAfter wraps err as retryable with a minimum-delay hint: the
+// retry loop waits at least hint before the next attempt.
+func TransientAfter(err error, hint time.Duration) error {
+	return &transientError{err: err, hint: hint}
+}
+
+// IsTransient reports whether err is retryable and returns its hint.
+func IsTransient(err error) (time.Duration, bool) {
+	var te *transientError
+	if errors.As(err, &te) {
+		return te.hint, true
+	}
+	return 0, false
+}
+
+// Sleeper pauses for d or until ctx is done (returning ctx's error).
+type Sleeper func(ctx context.Context, d time.Duration) error
+
+// sleep is the production Sleeper: a real timer racing the context.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs op up to attempts times, sleeping p.Delay(attempt) — or the
+// op's TransientAfter hint when that is longer — between tries. It stops
+// early on success, on a non-transient error, or when ctx ends during a
+// pause. A nil sleeper uses a real clock; tests pass a recording stub.
+func Do(ctx context.Context, attempts int, p Policy, s Sleeper, op func(ctx context.Context, attempt int) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if s == nil {
+		s = sleep
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		err = op(ctx, attempt)
+		if err == nil {
+			return nil
+		}
+		hint, retryable := IsTransient(err)
+		if !retryable || attempt == attempts-1 {
+			return err
+		}
+		d := p.Delay(attempt)
+		if hint > d {
+			d = hint
+		}
+		if serr := s(ctx, d); serr != nil {
+			return fmt.Errorf("%w (while backing off from: %v)", serr, err)
+		}
+	}
+	return err
+}

@@ -1,0 +1,145 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The delay sequence must be a pure function of (seed, stream, attempt):
+// reproducible across policies with the same inputs, decorrelated across
+// streams, and always inside the equal-jitter envelope [ceil/2, ceil].
+func TestDelayDeterministicAndBounded(t *testing.T) {
+	p := NewPolicy(100*time.Millisecond, 2*time.Second, 2, 42, 0)
+	q := NewPolicy(100*time.Millisecond, 2*time.Second, 2, 42, 0)
+	ceil := 100 * time.Millisecond
+	for a := 0; a < 10; a++ {
+		d1, d2 := p.Delay(a), q.Delay(a)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: delay not deterministic: %v vs %v", a, d1, d2)
+		}
+		if d1 < ceil/2 || d1 > ceil {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", a, d1, ceil/2, ceil)
+		}
+		if ceil < 2*time.Second {
+			ceil *= 2
+			if ceil > 2*time.Second {
+				ceil = 2 * time.Second
+			}
+		}
+	}
+}
+
+func TestDelayStreamsDecorrelate(t *testing.T) {
+	a := NewPolicy(100*time.Millisecond, time.Second, 2, 7, 0)
+	b := NewPolicy(100*time.Millisecond, time.Second, 2, 7, 1)
+	same := 0
+	for i := 0; i < 8; i++ {
+		if a.Delay(i) == b.Delay(i) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("distinct streams produced identical delay schedules")
+	}
+}
+
+func TestDelayNegativeAttempt(t *testing.T) {
+	p := NewPolicy(50*time.Millisecond, time.Second, 2, 1, 0)
+	if p.Delay(-3) != p.Delay(0) {
+		t.Fatal("negative attempt should clamp to 0")
+	}
+}
+
+// Do must retry transient errors with the policy schedule (or a longer
+// server hint), stop on the first success, and never sleep a real clock
+// when given a stub Sleeper.
+func TestDoRetriesTransient(t *testing.T) {
+	p := NewPolicy(100*time.Millisecond, time.Second, 2, 3, 0)
+	var slept []time.Duration
+	stub := func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	calls := 0
+	err := Do(context.Background(), 5, p, stub, func(ctx context.Context, attempt int) error {
+		calls++
+		if attempt < 2 {
+			return Transient(errors.New("busy"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want success after 3", err, calls)
+	}
+	want := []time.Duration{p.Delay(0), p.Delay(1)}
+	if len(slept) != 2 || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+}
+
+func TestDoHonorsRetryAfterHint(t *testing.T) {
+	p := NewPolicy(time.Millisecond, 10*time.Millisecond, 2, 1, 0)
+	hint := 3 * time.Second // far above any policy delay
+	var slept []time.Duration
+	stub := func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	}
+	err := Do(context.Background(), 3, p, stub, func(ctx context.Context, attempt int) error {
+		if attempt == 0 {
+			return TransientAfter(errors.New("shed"), hint)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != hint {
+		t.Fatalf("slept %v, want exactly the %v hint", slept, hint)
+	}
+}
+
+func TestDoStopsOnTerminalError(t *testing.T) {
+	terminal := errors.New("bad request")
+	calls := 0
+	err := Do(context.Background(), 5, NewPolicy(0, 0, 0, 1, 0), func(ctx context.Context, d time.Duration) error { return nil },
+		func(ctx context.Context, attempt int) error { calls++; return terminal })
+	if !errors.Is(err, terminal) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want the terminal error after 1", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	busy := errors.New("busy")
+	err := Do(context.Background(), 3, NewPolicy(0, 0, 0, 1, 0), func(ctx context.Context, d time.Duration) error { return nil },
+		func(ctx context.Context, attempt int) error { calls++; return Transient(busy) })
+	if !errors.Is(err, busy) || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want the transient error after all 3", err, calls)
+	}
+}
+
+func TestDoContextCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	stub := func(ctx context.Context, d time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
+	err := Do(ctx, 5, NewPolicy(time.Millisecond, time.Millisecond, 1, 1, 0), stub,
+		func(ctx context.Context, attempt int) error { return Transient(errors.New("busy")) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+}
+
+func TestIsTransientWrapping(t *testing.T) {
+	if _, ok := IsTransient(errors.New("plain")); ok {
+		t.Fatal("plain error classified transient")
+	}
+	hint, ok := IsTransient(TransientAfter(errors.New("x"), 5*time.Second))
+	if !ok || hint != 5*time.Second {
+		t.Fatalf("IsTransient = (%v, %v), want (5s, true)", hint, ok)
+	}
+}
