@@ -7,7 +7,7 @@
 // Usage:
 //
 //	advisor -machine "Blue Mountain" -petacycles 10 [-seed 1] [-scale 0.25]
-//	        [-cap 10] [-timeout D] [-json]
+//	        [-cap 10] [-timeout D] [-json] [-manifest file]
 //	        [-server URL [-tenant name] [-retries N]]
 //
 // The CLI is a thin client of internal/advisor — the same planning core
@@ -33,6 +33,7 @@ import (
 
 	"interstitial/internal/advisor"
 	"interstitial/internal/retry"
+	"interstitial/internal/span"
 )
 
 func main() {
@@ -50,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	capN := fs.Int("cap", advisor.DefaultCap, "ranked candidates listed (max 24)")
 	timeout := fs.Duration("timeout", 0, "abort planning after this long (0 = no limit)")
 	jsonOut := fs.Bool("json", false, "print the full plan as JSON instead of the table")
+	manifestPath := fs.String("manifest", "", "write the plan's provenance manifest (JSON) to this file")
 	server := fs.String("server", "", "ask a running advisord at this base URL instead of planning locally")
 	tenant := fs.String("tenant", "", "tenant identity sent to the server (X-Advisor-Tenant)")
 	retries := fs.Int("retries", 4, "server mode: attempts before giving up on 429/503")
@@ -94,15 +96,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var plan *advisor.Plan
 	var err error
+	var manifest *span.Manifest
 	if *server != "" {
-		plan, err = fetchPlan(ctx, *server, req, *tenant, *retries, *seed)
+		plan, manifest, err = fetchPlan(ctx, *server, req, *tenant, *retries, *seed)
 	} else {
 		core := advisor.NewCore(advisor.CoreConfig{Ctx: ctx})
-		plan, err = core.Plan(req)
+		if plan, err = core.Plan(req); err == nil {
+			manifest = advisor.PlanManifest(plan)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "advisor: %v\n", err)
 		return 1
+	}
+	if *manifestPath != "" && manifest != nil {
+		if err := writeManifest(*manifestPath, manifest); err != nil {
+			fmt.Fprintf(stderr, "advisor: %v\n", err)
+			return 1
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -117,13 +128,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// writeManifest dumps the plan's provenance record as indented JSON.
+func writeManifest(path string, m *span.Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // fetchPlan asks a running advisord, retrying shed/overload answers with
 // deterministic jittered backoff. The jitter stream derives from the plan
-// seed, so a test can replay the exact schedule.
-func fetchPlan(ctx context.Context, base string, req advisor.Request, tenant string, attempts int, seed int64) (*advisor.Plan, error) {
+// seed, so a test can replay the exact schedule. The returned manifest is
+// the server's X-Run-Manifest provenance header (nil if the server
+// predates it).
+func fetchPlan(ctx context.Context, base string, req advisor.Request, tenant string, attempts int, seed int64) (*advisor.Plan, *span.Manifest, error) {
 	u, err := url.Parse(base)
 	if err != nil {
-		return nil, fmt.Errorf("bad -server URL: %v", err)
+		return nil, nil, fmt.Errorf("bad -server URL: %v", err)
 	}
 	u = u.JoinPath("plan")
 	q := url.Values{}
@@ -136,6 +162,7 @@ func fetchPlan(ctx context.Context, base string, req advisor.Request, tenant str
 
 	policy := retry.NewPolicy(200*time.Millisecond, 5*time.Second, 2, seed, 0)
 	var plan *advisor.Plan
+	var manifest *span.Manifest
 	err = retry.Do(ctx, attempts, policy, nil, func(ctx context.Context, attempt int) error {
 		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
 		if err != nil {
@@ -160,6 +187,12 @@ func fetchPlan(ctx context.Context, base string, req advisor.Request, tenant str
 				return fmt.Errorf("bad server response: %v", err)
 			}
 			plan = &p
+			if hdr := resp.Header.Get("X-Run-Manifest"); hdr != "" {
+				var m span.Manifest
+				if err := json.Unmarshal([]byte(hdr), &m); err == nil {
+					manifest = &m
+				}
+			}
 			return nil
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			err := fmt.Errorf("server %s: %s", resp.Status, errorOf(body))
@@ -174,9 +207,9 @@ func fetchPlan(ctx context.Context, base string, req advisor.Request, tenant str
 		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return plan, nil
+	return plan, manifest, nil
 }
 
 // errorOf extracts the error message from a JSON error body, falling back

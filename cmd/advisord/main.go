@@ -7,6 +7,8 @@
 //
 //	advisord [-addr host:port] [-queue N] [-rate R -burst B] [-cache N]
 //	         [-budget D] [-degraded-scale F] [-drain D]
+//	         [-log-format json|text] [-log-level spec]
+//	         [-spans file] [-manifest file]
 //
 // Endpoints:
 //
@@ -22,6 +24,15 @@
 // "degraded": true. SIGTERM/SIGINT stops admission (readyz flips to 503),
 // completes every in-flight plan within -drain, then exits 0.
 //
+// Observability: every request gets a root span whose ID rides the
+// X-Request-Id header and the structured request log (stderr, one JSON
+// record per line; -log-level takes per-component specs like
+// "default=info,http=debug"). 200 plan answers carry their provenance as
+// the X-Run-Manifest header. -spans writes the recorded span trees as
+// JSONL (readable by cmd/tracescope -spans) at drain, and -manifest
+// writes the service's provenance manifest — config, toolchain, final
+// metrics snapshot — at exit.
+//
 // Invalid flags are rejected up front with exit status 2, matching
 // cmd/experiments.
 package main
@@ -30,7 +41,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -38,6 +48,8 @@ import (
 	"time"
 
 	"interstitial/internal/advisor"
+	"interstitial/internal/span"
+	"interstitial/internal/tracing"
 )
 
 // usageError rejects bad flags before any work starts: message, usage,
@@ -49,8 +61,6 @@ func usageError(format string, args ...any) {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("advisord: ")
 	addr := flag.String("addr", "localhost:7676", "listen address")
 	queue := flag.Int("queue", 4, "bounded work queue: concurrent plan computations admitted")
 	rate := flag.Float64("rate", 0, "per-tenant sustained requests/sec (0 = no per-tenant limit)")
@@ -59,7 +69,12 @@ func main() {
 	budget := flag.Duration("budget", 2*time.Second, "per-request full-sweep budget before degrading")
 	degradedScale := flag.Float64("degraded-scale", 0.02, "fallback planning-log scale for over-budget requests")
 	drain := flag.Duration("drain", 30*time.Second, "max wait for in-flight plans on SIGTERM")
+	logFormat := flag.String("log-format", "json", "structured log format: json or text")
+	logLevel := flag.String("log-level", "info", `log level spec: "info" or per-component "default=info,http=debug"`)
+	spansPath := flag.String("spans", "", "write recorded request spans as JSONL to this file at drain")
+	manifestPath := flag.String("manifest", "", "write the service's provenance manifest (JSON) to this file at exit")
 	flag.Parse()
+	logger, logErr := advisor.NewLogger(os.Stderr, *logFormat, *logLevel)
 	switch {
 	case *queue < 1:
 		usageError("-queue %d is not positive", *queue)
@@ -75,10 +90,17 @@ func main() {
 		usageError("-degraded-scale %g outside (0, 1]", *degradedScale)
 	case *drain <= 0:
 		usageError("-drain %v is not positive", *drain)
+	case logErr != nil:
+		usageError("%v", logErr)
 	case flag.NArg() > 0:
 		usageError("unexpected arguments %q", flag.Args())
 	}
+	mlog := logger.With("component", advisor.ComponentMain)
 
+	var spans *span.Recorder
+	if *spansPath != "" {
+		spans = span.NewRecorder()
+	}
 	srv := advisor.NewServer(advisor.Config{
 		QueueBound:    *queue,
 		TenantRate:    *rate,
@@ -86,20 +108,23 @@ func main() {
 		CacheEntries:  *cache,
 		Budget:        *budget,
 		DegradedScale: *degradedScale,
+		Log:           logger,
+		Spans:         spans,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("serving on http://%s (queue %d, budget %v)", *addr, *queue, *budget)
+	mlog.Info("serving", "addr", *addr, "queue", *queue, "budget", budget.String())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("%v: draining (up to %v)", sig, *drain)
+		mlog.Info("draining", "signal", sig.String(), "max_wait", drain.String())
 	case err := <-errc:
-		log.Fatal(err)
+		mlog.Error("serve failed", "err", err.Error())
+		os.Exit(1)
 	}
 
 	// Stop routing first, then let the listener close while in-flight
@@ -108,11 +133,58 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		mlog.Warn("http shutdown", "err", err.Error())
 	}
-	if err := srv.Drain(ctx); err != nil {
-		log.Printf("drain incomplete: %v", err)
+	drainErr := srv.Drain(ctx)
+	writeArtifacts(mlog, srv, spans, *spansPath, *manifestPath, flagConfig())
+	if drainErr != nil {
+		mlog.Error("drain incomplete", "err", drainErr.Error())
 		os.Exit(1)
 	}
-	log.Print("drained cleanly")
+	mlog.Info("drained cleanly")
+}
+
+// flagConfig snapshots every set flag for the service manifest.
+func flagConfig() map[string]string {
+	cfg := map[string]string{}
+	flag.Visit(func(f *flag.Flag) { cfg[f.Name] = f.Value.String() })
+	return cfg
+}
+
+// writeArtifacts dumps the span JSONL and the service manifest after the
+// drain barrier, when no handler is still appending.
+func writeArtifacts(mlog interface{ Warn(string, ...any) }, srv *advisor.Server,
+	spans *span.Recorder, spansPath, manifestPath string, cfg map[string]string) {
+	if spansPath != "" {
+		if err := writeFile(spansPath, func(w *os.File) error {
+			return tracing.WriteSpansJSONL(w, spans.Spans())
+		}); err != nil {
+			mlog.Warn("writing spans", "err", err.Error())
+		}
+	}
+	if manifestPath != "" {
+		m := span.NewManifest(1, 0) // seed = the span/request-ID seed; no one scale
+		for k, v := range cfg {
+			m.Set(k, v)
+		}
+		snap := srv.Metrics().Snapshot()
+		m.Metrics = &snap
+		if err := writeFile(manifestPath, func(w *os.File) error {
+			return m.WriteJSON(w)
+		}); err != nil {
+			mlog.Warn("writing manifest", "err", err.Error())
+		}
+	}
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

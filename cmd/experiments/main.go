@@ -4,8 +4,9 @@
 //
 //	experiments [-seed N] [-scale F] [-reps N] [-samples N] [-workers N]
 //	            [-fleet N] [-route policy] [-timeout D] [-csv dir]
-//	            [-metrics] [-metrics-json file]
+//	            [-metrics] [-metrics-json file] [-manifest file]
 //	            [-pprof addr] [-trace file [-trace-format f] [-trace-sample N]]
+//	            [-spans file [-spans-format f]]
 //	            [names...]
 //
 // Experiments run concurrently on a worker pool bounded by -workers
@@ -30,6 +31,18 @@
 // the first N/2 and last ~N/2 events per run. -metrics-json archives the
 // final metrics snapshot as stable JSON next to the trace. All of it is
 // observation-only: stdout stays byte-identical.
+//
+// -spans records the run's span tree — the run, each experiment, every
+// fan-out cell, the shared sweeps, and (for the federation study) each
+// fleet's epochs, shard advances, and route/steal decisions — and writes
+// it on exit: -spans-format jsonl (the cmd/tracescope -spans schema) or
+// chrome. Span IDs derive from the seed and all instants are logical or
+// simulated time, so the file is byte-identical at any -workers.
+//
+// -manifest writes the run's provenance record as JSON: seed, scale,
+// workers, config knobs, experiment list, the FNV-1a digest of the
+// rendered tables, the toolchain version, and the final metrics
+// snapshot — everything needed to reproduce and verify the output.
 //
 // -timeout bounds the whole run: when it expires, in-flight simulations
 // abort cooperatively (within ~4096 kernel events), completed tables are
@@ -62,6 +75,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
@@ -71,6 +85,7 @@ import (
 
 	"interstitial/internal/experiments"
 	"interstitial/internal/federation"
+	"interstitial/internal/span"
 	"interstitial/internal/tracing"
 )
 
@@ -98,9 +113,13 @@ func main() {
 	tracePath := flag.String("trace", "", "record every scheduler decision and write the trace to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace export format: jsonl, chrome (Perfetto-loadable), or audit (per-job CSV)")
 	traceSample := flag.Int("trace-sample", 0, "max events kept per traced run, head/tail sampled (0 = keep all)")
+	spansPath := flag.String("spans", "", "record the run's span tree and write it to this file")
+	spansFormat := flag.String("spans-format", "jsonl", "span export format: jsonl or chrome (Perfetto-loadable)")
+	manifestPath := flag.String("manifest", "", "write the run's provenance manifest (seed, config, output digest, metrics) as JSON to this file")
 	list := flag.Bool("list", false, "print the valid experiment names and exit")
 	flag.Parse()
 	format, formatErr := tracing.ParseFormat(*traceFormat)
+	sformat, sformatErr := tracing.ParseFormat(*spansFormat)
 	switch {
 	case *seed < 0:
 		usageError("-seed %d is negative", *seed)
@@ -124,6 +143,12 @@ func main() {
 		usageError("-trace-format without -trace")
 	case *traceSample > 0 && *tracePath == "":
 		usageError("-trace-sample without -trace")
+	case sformatErr != nil:
+		usageError("-spans-format: %v", sformatErr)
+	case sformat == tracing.FormatAudit:
+		usageError("-spans-format audit: spans have no audit form (want jsonl or chrome)")
+	case *spansFormat != "jsonl" && *spansPath == "":
+		usageError("-spans-format without -spans")
 	}
 	if *route != "" {
 		if _, err := federation.ParsePolicy(*route); err != nil {
@@ -157,6 +182,11 @@ func main() {
 	if *tracePath != "" {
 		collector = tracing.NewCollector(*traceSample)
 		lab.SetTracing(collector)
+	}
+	var spanRec *span.Recorder
+	if *spansPath != "" {
+		spanRec = span.NewRecorder()
+		lab.SetSpans(spanRec)
 	}
 
 	if *pprofAddr != "" {
@@ -209,11 +239,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
+	// The manifest's digest folds exactly the reproducible output bytes:
+	// the rendered tables and their name markers, not the wall-time line.
+	digest := fnv.New64a()
+	var out io.Writer = os.Stdout
+	if *manifestPath != "" {
+		out = io.MultiWriter(os.Stdout, digest)
+	}
 	for i, name := range names {
 		if results[i] == nil {
 			continue // failed or unfinished: accounted for in the report
 		}
-		if err := results[i].Render(os.Stdout); err != nil {
+		if err := results[i].Render(out); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: rendering %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -223,7 +260,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("  [%s]\n\n", name)
+		fmt.Fprintf(out, "  [%s]\n\n", name)
 	}
 	fmt.Printf("  [%d/%d experiments in %.1fs]\n", len(report.Completed), len(names), time.Since(t0).Seconds())
 	if !report.OK() {
@@ -257,6 +294,35 @@ func main() {
 		emitted, dropped := collector.Totals()
 		fmt.Fprintf(os.Stderr, "experiments: trace: %d runs, %d events emitted (%d dropped) -> %s (%s)\n",
 			len(collector.Runs()), emitted, dropped, *tracePath, format)
+	}
+	if *spansPath != "" {
+		if err := writeFileWith(*spansPath, func(w io.Writer) error {
+			return tracing.ExportSpans(w, spanRec.Spans(), sformat)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: spans: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: spans: %d spans -> %s (%s)\n", spanRec.Len(), *spansPath, sformat)
+	}
+	if *manifestPath != "" {
+		o := lab.Options()
+		m := span.NewManifest(o.Seed, o.Scale)
+		m.Workers = o.Workers
+		m.Set("reps", o.Reps).Set("samples", o.Samples)
+		if o.FleetSize > 0 {
+			m.Set("fleet", o.FleetSize)
+		}
+		if o.Route != "" {
+			m.Set("route", o.Route)
+		}
+		m.Experiments = names
+		m.SetDigest(digest.Sum64())
+		snap := lab.Metrics().Snapshot()
+		m.Metrics = &snap
+		if err := writeFileWith(*manifestPath, m.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: manifest: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

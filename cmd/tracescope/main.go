@@ -7,14 +7,18 @@
 //
 // Usage:
 //
-//	tracescope [-check] trace.jsonl
+//	tracescope [-check|-spans] trace.jsonl
 //	tracescope            (reads stdin)
 //
 // -check stops after schema validation, printing nothing on success: the
 // CI smoke target uses it as the schema gate. Any malformed line — bad
 // JSON, unknown kind or reason, non-monotonic sequence numbers or
-// timestamps, busy counts outside the machine — exits 1 with the line's
-// error.
+// timestamps, busy counts outside the machine, dangling span parents —
+// exits 1 with the line's error.
+//
+// -spans reports on the request/run span lines instead of the decision
+// events: per-name latency breakdown, the slowest shard of each
+// federation epoch, and shed/degrade outcome attribution.
 package main
 
 import (
@@ -31,6 +35,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracescope: ")
 	check := flag.Bool("check", false, "validate the trace against the event schema and exit (silent on success)")
+	spans := flag.Bool("spans", false, "summarize span lines: per-name latency, slowest shard per epoch, outcome attribution")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -51,6 +56,16 @@ func main() {
 
 	if *check {
 		if _, err := tracing.ReadJSONL(in); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *spans {
+		_, ss, err := tracing.ReadJSONLAll(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracing.SummarizeSpans(ss).WriteReport(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 		return

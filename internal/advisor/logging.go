@@ -1,0 +1,127 @@
+package advisor
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Logging components. Every record the service emits carries a
+// "component" attribute from this set, and NewLogger's level spec filters
+// on it — so an operator can run `-log-level default=warn,http=info` and
+// keep the request log without the admission chatter.
+const (
+	// ComponentHTTP tags the per-request completion records (one Info line
+	// per request: route, status, duration, request_id).
+	ComponentHTTP = "http"
+	// ComponentPlan tags the /plan decision records: sheds, cache hits,
+	// degraded answers, planner failures.
+	ComponentPlan = "plan"
+	// ComponentMain tags process lifecycle records (startup, drain).
+	ComponentMain = "main"
+)
+
+// NewLogger builds the service's structured logger. format is "json"
+// (the production form: one object per line) or "text" (slog's key=value
+// form). levels is a per-component spec like
+//
+//	"info"                      — one level for everything
+//	"default=info,http=debug"   — per-component overrides
+//
+// where each level is debug, info, warn, or error. Records below their
+// component's level are dropped at the Enabled gate (no allocation).
+func NewLogger(w io.Writer, format, levels string) (*slog.Logger, error) {
+	def, perComp, err := parseLevels(levels)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: slog.LevelDebug} // componentHandler gates
+	var inner slog.Handler
+	switch format {
+	case "json", "":
+		inner = slog.NewJSONHandler(w, opts)
+	case "text":
+		inner = slog.NewTextHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("advisor: log format %q (want json or text)", format)
+	}
+	return slog.New(&componentHandler{inner: inner, def: def, perComp: perComp, level: def}), nil
+}
+
+// parseLevels parses a level spec into (default, per-component) levels.
+func parseLevels(spec string) (slog.Level, map[string]slog.Level, error) {
+	def := slog.LevelInfo
+	perComp := map[string]slog.Level{}
+	if spec == "" {
+		return def, perComp, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		comp, lvl := "default", part
+		if k, v, ok := strings.Cut(part, "="); ok {
+			comp, lvl = strings.TrimSpace(k), strings.TrimSpace(v)
+		}
+		var l slog.Level
+		if err := l.UnmarshalText([]byte(lvl)); err != nil {
+			return 0, nil, fmt.Errorf("advisor: log level %q in %q (want debug, info, warn, or error)", lvl, spec)
+		}
+		if comp == "default" {
+			def = l
+		} else {
+			perComp[comp] = l
+		}
+	}
+	return def, perComp, nil
+}
+
+// componentHandler filters records by the level of the component they
+// were logged under. The component rides in via Logger.With("component",
+// name): WithAttrs resolves that branch's level once, so the per-record
+// Enabled check is a plain comparison.
+type componentHandler struct {
+	inner   slog.Handler
+	def     slog.Level
+	perComp map[string]slog.Level
+	level   slog.Level // resolved level for this branch's component
+}
+
+func (h *componentHandler) Enabled(_ context.Context, l slog.Level) bool { return l >= h.level }
+
+func (h *componentHandler) Handle(ctx context.Context, r slog.Record) error {
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *componentHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	for _, a := range attrs {
+		if a.Key == "component" {
+			if l, ok := h.perComp[a.Value.String()]; ok {
+				nh.level = l
+			} else {
+				nh.level = h.def
+			}
+		}
+	}
+	nh.inner = h.inner.WithAttrs(attrs)
+	return &nh
+}
+
+func (h *componentHandler) WithGroup(name string) slog.Handler {
+	nh := *h
+	nh.inner = h.inner.WithGroup(name)
+	return &nh
+}
+
+// discardHandler drops everything at the Enabled gate. (log/slog grows a
+// stdlib DiscardHandler in go1.24; this repo's language floor is older.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

@@ -1,0 +1,66 @@
+package advisor
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestLoggerComponentLevels: the level spec filters per component, with
+// "default=" covering components not named.
+func TestLoggerComponentLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "json", "default=warn,http=debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.With("component", "http").Debug("http-debug-kept")
+	log.With("component", "plan").Info("plan-info-dropped")
+	log.With("component", "plan").Warn("plan-warn-kept")
+	out := buf.String()
+	if !strings.Contains(out, "http-debug-kept") {
+		t.Errorf("http debug record dropped despite http=debug:\n%s", out)
+	}
+	if strings.Contains(out, "plan-info-dropped") {
+		t.Errorf("plan info record kept despite default=warn:\n%s", out)
+	}
+	if !strings.Contains(out, "plan-warn-kept") {
+		t.Errorf("plan warn record dropped:\n%s", out)
+	}
+}
+
+// TestLoggerTextFormatAndBareLevel: "text" renders key=value, and a bare
+// level applies as the default.
+func TestLoggerTextFormatAndBareLevel(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.With("component", "http").Debug("hello")
+	if out := buf.String(); !strings.Contains(out, "component=http") || !strings.Contains(out, "hello") {
+		t.Errorf("text record = %q", out)
+	}
+}
+
+func TestLoggerRejectsBadSpecs(t *testing.T) {
+	if _, err := NewLogger(io.Discard, "yaml", ""); err == nil {
+		t.Error("format yaml accepted")
+	}
+	if _, err := NewLogger(io.Discard, "json", "http=verbose"); err == nil {
+		t.Error("level verbose accepted")
+	}
+}
+
+// TestDiscardHandlerDropsEverything: the default (nil Config.Log) logger
+// never emits and never errors.
+func TestDiscardHandlerDropsEverything(t *testing.T) {
+	h := discardHandler{}
+	if h.Enabled(nil, 0) {
+		t.Error("discardHandler.Enabled = true")
+	}
+	if h.WithAttrs(nil).(discardHandler) != (discardHandler{}) {
+		t.Error("WithAttrs changed the handler")
+	}
+}

@@ -1,0 +1,26 @@
+package advisor
+
+import (
+	"hash/fnv"
+	"io"
+
+	"interstitial/internal/span"
+)
+
+// PlanManifest builds the provenance record for one plan: the canonical
+// request that produced it (seed, scale, machine, project size, cap),
+// whether it was degraded, the toolchain, and the FNV-1a digest of the
+// plan's canonical text render. Deterministic in the plan: the service
+// attaches the compact form as the X-Run-Manifest response header, so a
+// client can verify it got the exact bytes a local run would print.
+func PlanManifest(p *Plan) *span.Manifest {
+	m := span.NewManifest(p.Request.Seed, p.Request.Scale)
+	m.Set("machine", p.Request.Machine).
+		Set("petacycles", p.Request.PetaCycles).
+		Set("cap", p.Request.Cap).
+		Set("degraded", p.Degraded)
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, p.Text)
+	m.SetDigest(h.Sum64())
+	return m
+}

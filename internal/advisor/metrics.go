@@ -12,10 +12,14 @@ import (
 // tenant-name flood can't grow the registry without bound.
 const maxTenantMetrics = 64
 
+// httpLatencyBounds buckets per-route request latency in seconds: from
+// cache-hit territory (sub-ms) through full-sweep plans (seconds).
+var httpLatencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
 // metrics is the service's observability surface: fleet-wide counters
-// with stable names (the CI smoke greps advisor_shed_total) plus a
-// bounded per-tenant breakdown, all registered in one obs.Registry served
-// at /metrics.
+// with stable names (the CI smoke greps advisor_shed_total), a per-route
+// latency histogram, plus a bounded per-tenant breakdown, all registered
+// in one obs.Registry served at /metrics.
 type metrics struct {
 	reg *obs.Registry
 
@@ -27,6 +31,10 @@ type metrics struct {
 	degraded  *obs.Counter // answered with the fallback plan past budget
 	panics    *obs.Counter // handler or planner panics converted to 500s
 	inflight  *obs.Gauge   // requests currently inside the handler
+
+	// routeLatency holds one advisor_http_<route>_seconds histogram per
+	// served route, registered up front so /metrics names are stable.
+	routeLatency map[string]*obs.Histogram
 
 	mu      sync.Mutex
 	tenants map[string]*tenantMetrics
@@ -46,6 +54,11 @@ func newMetrics(reg *obs.Registry) *metrics {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	routes := map[string]*obs.Histogram{}
+	for _, route := range []string{"plan", "healthz", "readyz", "metrics"} {
+		routes[route] = reg.Histogram("advisor_http_"+route+"_seconds",
+			"request latency for /"+route+" in seconds", httpLatencyBounds)
+	}
 	return &metrics{
 		reg:       reg,
 		requests:  reg.Counter("advisor_requests_total", "plan requests received"),
@@ -56,8 +69,11 @@ func newMetrics(reg *obs.Registry) *metrics {
 		degraded:  reg.Counter("advisor_degraded_total", "requests answered with the degraded fallback plan"),
 		panics:    reg.Counter("advisor_panics_total", "panics converted to typed 500s"),
 		inflight:  reg.Gauge("advisor_inflight", "requests currently being served"),
-		tenants:   make(map[string]*tenantMetrics),
-		used:      map[string]bool{"other": true}, // reserved for overflow
+
+		routeLatency: routes,
+
+		tenants: make(map[string]*tenantMetrics),
+		used:    map[string]bool{"other": true}, // reserved for overflow
 	}
 }
 

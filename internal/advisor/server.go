@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"interstitial/internal/obs"
+	"interstitial/internal/span"
 )
 
 // Config tunes the advisor service. The zero value gets serviceable
@@ -46,6 +48,17 @@ type Config struct {
 	Now func() time.Time
 	// Reg receives the service metrics (default: a fresh registry).
 	Reg *obs.Registry
+	// Log receives the service's structured records (see NewLogger).
+	// Nil discards them at the Enabled gate.
+	Log *slog.Logger
+	// Spans records one span tree per request: a root per route plus
+	// children for admission, cache lookup, coalesce join, and plan wait.
+	// Nil disables recording; every handle on the disabled path is a nil
+	// no-op, so requests pay nothing.
+	Spans *span.Recorder
+	// SpanSeed seeds root span IDs, which double as request IDs
+	// (default 1).
+	SpanSeed int64
 }
 
 // planner computes plans; the production implementation is *Core, and
@@ -67,6 +80,10 @@ type Server struct {
 	queue   *slotQueue
 	cache   *resultCache
 	mux     *http.ServeMux
+
+	httpLog *slog.Logger // component=http: one record per request
+	planLog *slog.Logger // component=plan: sheds, degrades, failures
+	reqSeq  atomic.Uint64
 
 	ready    atomic.Bool
 	draining atomic.Bool
@@ -117,6 +134,12 @@ func newServerShell(cfg Config) *Server {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(discardHandler{})
+	}
+	if cfg.SpanSeed == 0 {
+		cfg.SpanSeed = 1
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -128,12 +151,69 @@ func newServerShell(cfg Config) *Server {
 		planCtx:    ctx,
 		planCancel: cancel,
 	}
-	s.mux.HandleFunc("/plan", s.shield(s.handlePlan))
-	s.mux.HandleFunc("/healthz", s.shield(s.handleHealthz))
-	s.mux.HandleFunc("/readyz", s.shield(s.handleReadyz))
-	s.mux.Handle("/metrics", s.met.reg.Handler())
+	s.httpLog = cfg.Log.With("component", ComponentHTTP)
+	s.planLog = cfg.Log.With("component", ComponentPlan)
+	s.mux.HandleFunc("/plan", s.instrument("plan", s.shield(s.handlePlan)))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.shield(s.handleHealthz)))
+	s.mux.HandleFunc("/readyz", s.instrument("readyz", s.shield(s.handleReadyz)))
+	s.mux.Handle("/metrics", s.instrument("metrics", s.met.reg.Handler().ServeHTTP))
 	s.ready.Store(true)
 	return s
+}
+
+// nowMicro is the span clock: wall microseconds from the injected Now.
+func (s *Server) nowMicro() int64 { return s.cfg.Now().UnixMicro() }
+
+// statusWriter captures the response status for the request log, span,
+// and latency histogram.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument is the observability middleware on every route: it opens
+// the request's root span (whose ID doubles as the X-Request-Id header
+// and the request_id log field), threads it through the context for
+// handlers to hang children on, observes the route's latency histogram,
+// and emits the one-line completion record.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.met.routeLatency[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := s.cfg.Now()
+		seq := s.reqSeq.Add(1) - 1
+		sp := s.cfg.Spans.Root("http."+route, s.cfg.SpanSeed, seq, t0.UnixMicro())
+		reqID := sp.ID().String()
+		if sp == nil {
+			// Spans off: the request still gets a stable, unique ID.
+			reqID = fmt.Sprintf("req-%08x", seq)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set("X-Request-Id", reqID)
+		h(sw, r.WithContext(span.NewContext(r.Context(), sp)))
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		dur := s.cfg.Now().Sub(t0)
+		hist.Observe(dur.Seconds())
+		sp.Str("method", r.Method).Attr("status", int64(sw.code)).End(s.nowMicro())
+		s.httpLog.Info("request",
+			"request_id", reqID, "route", route, "method", r.Method,
+			"status", sw.code, "dur_ms", float64(dur.Microseconds())/1000)
+	}
 }
 
 // Handler returns the service's HTTP mux (/plan, /healthz, /readyz,
@@ -182,8 +262,10 @@ func (s *Server) shield(h http.HandlerFunc) http.HandlerFunc {
 		defer func() {
 			if v := recover(); v != nil {
 				s.met.panics.Inc()
+				s.httpLog.Error("handler panic",
+					"request_id", w.Header().Get("X-Request-Id"), "err", fmt.Sprint(v))
 				writeJSONError(w, http.StatusInternalServerError,
-					fmt.Sprintf("internal panic: %v", v), 0)
+					fmt.Sprintf("internal panic: %v", v), "panic", 0)
 				debug.PrintStack()
 			}
 		}()
@@ -261,46 +343,63 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Inc()
 	s.met.inflight.Add(1)
 	defer s.met.inflight.Add(-1)
+	sp := span.FromContext(r.Context())
+	reqID := w.Header().Get("X-Request-Id")
 
 	if !s.ready.Load() {
-		writeJSONError(w, http.StatusServiceUnavailable, "draining", s.cfg.ShedRetryAfter)
+		s.planLog.Info("shed", "request_id", reqID, "reason", "draining")
+		writeJSONError(w, http.StatusServiceUnavailable, "draining", "draining", s.cfg.ShedRetryAfter)
 		return
 	}
 	req, err := parsePlanRequest(r)
 	if err != nil {
-		writeJSONError(w, http.StatusBadRequest, err.Error(), 0)
+		s.planLog.Debug("bad request", "request_id", reqID, "err", err.Error())
+		writeJSONError(w, http.StatusBadRequest, err.Error(), "bad-request", 0)
 		return
 	}
 	tenant := tenantOf(r)
 	tm := s.met.tenant(tenant)
 
 	// Admission gate 1: per-tenant token bucket.
-	if wait := s.buckets.take(tenant); wait > 0 {
+	adm := sp.Child("admission", 0, s.nowMicro()).Str("tenant", tenant)
+	wait := s.buckets.take(tenant)
+	if wait > 0 {
+		adm.Str("outcome", "shed-rate").End(s.nowMicro())
 		s.met.shed.Inc()
 		tm.shed.Inc()
+		s.planLog.Warn("shed", "request_id", reqID, "reason", "tenant-rate",
+			"tenant", tenant, "retry_after_s", wait.Seconds())
 		writeJSONError(w, http.StatusTooManyRequests,
-			fmt.Sprintf("tenant %q over rate", tenant), wait)
+			fmt.Sprintf("tenant %q over rate", tenant), "tenant-rate", wait)
 		return
 	}
+	adm.Str("outcome", "ok").End(s.nowMicro())
 
 	// Cache: an identical canonical question already answered.
 	key := req.Key()
+	cs := sp.Child("cache", 1, s.nowMicro())
 	if p, ok := s.cache.get(key); ok {
+		cs.Str("outcome", "hit").End(s.nowMicro())
 		s.met.cacheHits.Inc()
-		writeJSON(w, http.StatusOK, p)
+		s.planLog.Debug("cache hit", "request_id", reqID, "key", key)
+		s.writePlan(w, p)
 		return
 	}
+	cs.Str("outcome", "miss").End(s.nowMicro())
 
 	// Coalesce: join an identical in-flight computation, or own a new one.
+	co := sp.Child("coalesce", 2, s.nowMicro())
 	c, owner := s.cache.join(key)
 	if owner {
 		// Admission gate 2: the bounded work queue. Only owners consume a
 		// slot — joiners ride along for free.
 		if !s.queue.tryAcquire() {
+			co.Str("outcome", "shed-queue").End(s.nowMicro())
 			s.cache.abandon(key, c, fmt.Errorf("queue full"))
 			s.met.shed.Inc()
 			tm.shed.Inc()
-			writeJSONError(w, http.StatusTooManyRequests, "work queue full", s.cfg.ShedRetryAfter)
+			s.planLog.Warn("shed", "request_id", reqID, "reason", "queue-full", "tenant", tenant)
+			writeJSONError(w, http.StatusTooManyRequests, "work queue full", "queue-full", s.cfg.ShedRetryAfter)
 			return
 		}
 		// Re-check draining under admitMu so wg.Add never races Drain's
@@ -309,14 +408,17 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			s.admitMu.Unlock()
 			s.queue.release()
+			co.Str("outcome", "draining").End(s.nowMicro())
 			s.cache.abandon(key, c, fmt.Errorf("draining"))
-			writeJSONError(w, http.StatusServiceUnavailable, "draining", s.cfg.ShedRetryAfter)
+			s.planLog.Info("shed", "request_id", reqID, "reason", "draining")
+			writeJSONError(w, http.StatusServiceUnavailable, "draining", "draining", s.cfg.ShedRetryAfter)
 			return
 		}
 		s.met.admitted.Inc()
 		tm.admitted.Inc()
 		s.wg.Add(1)
 		s.admitMu.Unlock()
+		co.Str("outcome", "owner").End(s.nowMicro())
 		go func() {
 			defer s.wg.Done()
 			defer s.queue.release()
@@ -327,34 +429,65 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.met.coalesced.Inc()
 		tm.coalesced.Inc()
+		co.Str("outcome", "joined").End(s.nowMicro())
 	}
 
 	// Wait for the sweep, degrade past the budget, bail if the client goes.
+	pw := sp.Child("plan.wait", 3, s.nowMicro()).Str("key", key)
 	budget := time.NewTimer(s.budgetOf(r))
 	defer budget.Stop()
 	select {
 	case <-c.done:
+		pw.Str("outcome", planOutcome(c.err)).End(s.nowMicro())
+		if c.err != nil {
+			s.planLog.Warn("plan failed", "request_id", reqID, "key", key, "err", c.err.Error())
+		}
 		s.respondPlan(w, c.plan, c.err)
 	case <-budget.C:
+		dg := sp.Child("plan.degraded", 4, s.nowMicro())
 		dp, derr := s.planner.PlanDegraded(r.Context(), req)
 		if derr != nil {
+			dg.Str("outcome", "error").End(s.nowMicro())
 			// The fallback itself failed (e.g. the client vanished). If
 			// the full sweep happened to finish meanwhile, serve it.
 			select {
 			case <-c.done:
+				pw.Str("outcome", planOutcome(c.err)).End(s.nowMicro())
 				s.respondPlan(w, c.plan, c.err)
 			default:
+				pw.Str("outcome", "over-budget").End(s.nowMicro())
+				s.planLog.Warn("over budget, fallback failed", "request_id", reqID,
+					"key", key, "err", derr.Error())
 				writeJSONError(w, http.StatusServiceUnavailable,
-					fmt.Sprintf("over budget and fallback failed: %v", derr), s.cfg.ShedRetryAfter)
+					fmt.Sprintf("over budget and fallback failed: %v", derr), "over-budget", s.cfg.ShedRetryAfter)
 			}
 			return
 		}
+		dg.Str("outcome", "degraded").End(s.nowMicro())
+		pw.Str("outcome", "degraded").End(s.nowMicro())
 		s.met.degraded.Inc()
 		tm.degraded.Inc()
-		writeJSON(w, http.StatusOK, dp)
+		s.planLog.Info("degraded answer", "request_id", reqID, "key", key)
+		s.writePlan(w, dp)
 	case <-r.Context().Done():
 		// Client gone; the owner (if any) still settles the cache.
-		writeJSONError(w, http.StatusServiceUnavailable, "client cancelled", 0)
+		pw.Str("outcome", "cancelled").End(s.nowMicro())
+		writeJSONError(w, http.StatusServiceUnavailable, "client cancelled", "cancelled", 0)
+	}
+}
+
+// planOutcome classifies a finished computation for spans and logs, in
+// the same buckets respondPlan maps onto status codes.
+func planOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrInfeasible):
+		return "infeasible"
+	case isCancellation(err):
+		return "aborted"
+	default:
+		return "error"
 	}
 }
 
@@ -373,17 +506,25 @@ func (s *Server) planShielded(req Request) (p *Plan, err error) {
 	return s.planner.Plan(req)
 }
 
+// writePlan answers 200 with the plan, attaching its provenance record
+// as the X-Run-Manifest header (compact single-line JSON; see
+// PlanManifest).
+func (s *Server) writePlan(w http.ResponseWriter, p *Plan) {
+	w.Header().Set("X-Run-Manifest", PlanManifest(p).Compact())
+	writeJSON(w, http.StatusOK, p)
+}
+
 // respondPlan maps a finished computation onto the wire.
 func (s *Server) respondPlan(w http.ResponseWriter, p *Plan, err error) {
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, p)
+		s.writePlan(w, p)
 	case errors.Is(err, ErrInfeasible):
-		writeJSONError(w, http.StatusUnprocessableEntity, err.Error(), 0)
+		writeJSONError(w, http.StatusUnprocessableEntity, err.Error(), "infeasible", 0)
 	case isCancellation(err):
-		writeJSONError(w, http.StatusServiceUnavailable, "planning aborted: "+err.Error(), s.cfg.ShedRetryAfter)
+		writeJSONError(w, http.StatusServiceUnavailable, "planning aborted: "+err.Error(), "aborted", s.cfg.ShedRetryAfter)
 	default:
-		writeJSONError(w, http.StatusInternalServerError, err.Error(), 0)
+		writeJSONError(w, http.StatusInternalServerError, err.Error(), "plan-error", 0)
 	}
 }
 
@@ -391,10 +532,17 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// errorBody is the wire form of every non-200 answer.
+// errorBody is the wire form of every non-200 answer. Reason is the
+// machine-readable failure class ("queue-full", "tenant-rate",
+// "draining", ...) so clients can branch without parsing the message;
+// RetryAfterS mirrors the Retry-After header into the body, and
+// RequestID echoes X-Request-Id for log correlation.
 type errorBody struct {
 	Error        string `json:"error"`
+	Reason       string `json:"reason,omitempty"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	RetryAfterS  int64  `json:"retry_after_s,omitempty"`
+	RequestID    string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -405,13 +553,20 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeJSONError(w http.ResponseWriter, code int, msg string, retryAfter time.Duration) {
+func writeJSONError(w http.ResponseWriter, code int, msg, reason string, retryAfter time.Duration) {
+	var secs int64
 	if retryAfter > 0 {
-		secs := int64(retryAfter / time.Second)
+		secs = int64(retryAfter / time.Second)
 		if secs < 1 {
 			secs = 1
 		}
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
-	writeJSON(w, code, errorBody{Error: msg, RetryAfterMS: int64(retryAfter / time.Millisecond)})
+	writeJSON(w, code, errorBody{
+		Error:        msg,
+		Reason:       reason,
+		RetryAfterMS: int64(retryAfter / time.Millisecond),
+		RetryAfterS:  secs,
+		RequestID:    w.Header().Get("X-Request-Id"),
+	})
 }

@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,11 +9,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"interstitial/internal/span"
 )
 
 // stubPlanner is a controllable planner for exercising the service layer
@@ -469,4 +473,158 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatal("condition never held")
+}
+
+// TestServerShedBodyReasonAndRetry pins the 429 wire contract: the JSON
+// body itself carries the machine-readable shed reason, the Retry-After
+// mirror, and the request ID — not just the headers.
+func TestServerShedBodyReasonAndRetry(t *testing.T) {
+	p := &stubPlanner{gate: make(chan struct{})}
+	srv := newServerWith(Config{QueueBound: 1, TenantRate: 1, TenantBurst: 1}, p)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(tenant string, pc float64) (int, string, http.Header) {
+		req, _ := http.NewRequest(http.MethodGet, planURL(ts.URL, pc), nil)
+		req.Header.Set("X-Advisor-Tenant", tenant)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b), resp.Header
+	}
+
+	// Occupy the only queue slot with a held request from alice.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if code, body, _ := get("alice", 1); code != 200 {
+			t.Errorf("held request = %d %q, want 200", code, body)
+		}
+	}()
+	waitFor(t, func() bool { return srv.queue.depth() == 1 })
+
+	// Alice again: over rate at the token bucket.
+	code, body, hdr := get("alice", 2)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("rate shed = %d %q, want 429", code, body)
+	}
+	var e errorBody
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("shed body not JSON: %v\n%s", err, body)
+	}
+	if e.Reason != "tenant-rate" {
+		t.Errorf("rate-shed reason = %q, want tenant-rate", e.Reason)
+	}
+	if e.RetryAfterS < 1 {
+		t.Errorf("rate-shed retry_after_s = %d, want >= 1", e.RetryAfterS)
+	}
+	if got := hdr.Get("Retry-After"); got != strconv.FormatInt(e.RetryAfterS, 10) {
+		t.Errorf("Retry-After header %q does not mirror body retry_after_s %d", got, e.RetryAfterS)
+	}
+	if e.RequestID == "" || e.RequestID != hdr.Get("X-Request-Id") {
+		t.Errorf("body request_id %q != X-Request-Id header %q", e.RequestID, hdr.Get("X-Request-Id"))
+	}
+
+	// Bob passes the bucket and finds the queue full.
+	code, body, hdr = get("bob", 3)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("queue shed = %d %q, want 429", code, body)
+	}
+	e = errorBody{}
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("shed body not JSON: %v\n%s", err, body)
+	}
+	if e.Reason != "queue-full" {
+		t.Errorf("queue-shed reason = %q, want queue-full", e.Reason)
+	}
+	if got := hdr.Get("Retry-After"); got != strconv.FormatInt(e.RetryAfterS, 10) {
+		t.Errorf("Retry-After header %q does not mirror body retry_after_s %d", got, e.RetryAfterS)
+	}
+
+	close(p.gate)
+	<-done
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// TestServerRequestSpansAndManifest wires the whole observability layer
+// through one request: the root span's ID is the X-Request-Id header,
+// the children bracket admission / cache / coalesce / plan-wait with
+// outcomes, the 200 carries the plan's provenance manifest, and the
+// structured log correlates on the same request ID.
+func TestServerRequestSpansAndManifest(t *testing.T) {
+	rec := span.NewRecorder()
+	var logBuf bytes.Buffer
+	logger, err := NewLogger(&logBuf, "json", "default=debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServerWith(Config{Spans: rec, SpanSeed: 7, Log: logger}, &stubPlanner{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, _, hdr := getBody(t, ts.Client(), planURL(ts.URL, 2))
+	if code != 200 {
+		t.Fatalf("plan = %d", code)
+	}
+	reqID := hdr.Get("X-Request-Id")
+	if len(reqID) != 16 {
+		t.Fatalf("X-Request-Id = %q, want a 16-hex span ID", reqID)
+	}
+
+	// The manifest header is exactly the plan's provenance record.
+	want := PlanManifest(stubPlan(mustReq(t, 2), false)).Compact()
+	if got := hdr.Get("X-Run-Manifest"); got != want {
+		t.Errorf("X-Run-Manifest = %q, want %q", got, want)
+	}
+
+	// A cache hit carries the manifest too.
+	if _, _, hdr2 := getBody(t, ts.Client(), planURL(ts.URL, 2)); hdr2.Get("X-Run-Manifest") != want {
+		t.Errorf("cache-hit X-Run-Manifest = %q, want %q", hdr2.Get("X-Run-Manifest"), want)
+	}
+
+	var root *span.Span
+	spans := rec.Spans()
+	for i := range spans {
+		if spans[i].Name == "http.plan" && spans[i].ID.String() == reqID {
+			root = &spans[i]
+		}
+	}
+	if root == nil {
+		t.Fatalf("no http.plan root span with ID %s in %d spans", reqID, len(spans))
+	}
+	if a, ok := root.Attr("status"); !ok || a.Val != 200 {
+		t.Errorf("root status attr = %+v, want 200", a)
+	}
+	wantChildren := map[string]string{
+		"admission": "ok", "cache": "miss", "coalesce": "owner", "plan.wait": "ok",
+	}
+	for i := range spans {
+		wantOut, ok := wantChildren[spans[i].Name]
+		if !ok || spans[i].Parent != root.ID {
+			continue
+		}
+		if a, ok := spans[i].Attr("outcome"); !ok || a.Str != wantOut {
+			t.Errorf("%s outcome = %+v, want %q", spans[i].Name, a, wantOut)
+		}
+		delete(wantChildren, spans[i].Name)
+	}
+	if len(wantChildren) > 0 {
+		t.Errorf("missing child spans under the root: %v", wantChildren)
+	}
+
+	logs := logBuf.String()
+	if !strings.Contains(logs, `"request_id":"`+reqID+`"`) {
+		t.Errorf("log has no record with request_id %s:\n%s", reqID, logs)
+	}
+	if !strings.Contains(logs, `"component":"http"`) || !strings.Contains(logs, `"route":"plan"`) {
+		t.Errorf("log missing the http completion record:\n%s", logs)
+	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"interstitial/internal/federation"
 	"interstitial/internal/rng"
+	"interstitial/internal/span"
 	"interstitial/internal/testbed"
 	"interstitial/internal/tracing"
 )
@@ -79,7 +80,7 @@ func Federation(l *Lab) (*FederationResult, error) {
 	}
 	all := testbed.All()
 	cols := len(fleets)
-	l.fanout(len(res.Rows), func(cell int) {
+	l.fanoutSpanned(len(res.Rows), func(cell int, cs *span.Active) {
 		pi, fi := cell/cols, cell%cols
 		n := fleets[fi]
 		machines := make([]federation.Machine, n)
@@ -98,6 +99,7 @@ func Federation(l *Lab) (*FederationResult, error) {
 			tr = l.trace.Tracer(fmt.Sprintf("%s/fed%02d-%s", l.owner(), n, pol.Name()),
 				"fleet", totalCPUs)
 		}
+		cs.Str("policy", pol.Name()).Attr("fleet", int64(n))
 		fl, err := federation.New(federation.Config{
 			Machines: machines,
 			Policy:   pol,
@@ -106,6 +108,7 @@ func Federation(l *Lab) (*FederationResult, error) {
 			Seed:     rng.DeriveSeed(o.Seed, uint64(cell)),
 			Runner:   func(k int, fn func(int)) { l.shieldedForEach(k, fn) },
 			Tracer:   tr,
+			Span:     cs,
 			Ctx:      l.ctx,
 		})
 		if err != nil {

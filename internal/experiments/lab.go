@@ -26,6 +26,7 @@ import (
 	"interstitial/internal/job"
 	"interstitial/internal/obs"
 	"interstitial/internal/sim"
+	"interstitial/internal/span"
 	"interstitial/internal/testbed"
 	"interstitial/internal/tracing"
 )
@@ -200,6 +201,11 @@ type Lab struct {
 	// name labels this view's experiment for CellError attribution;
 	// empty on the root lab, whose failures belong to "(shared)".
 	name string
+	// sp, when non-nil, is the experiment span this view's fan-outs
+	// bracket their cells under; fanSeq numbers the view's fan-out calls
+	// so cell span IDs stay deterministic at any worker count.
+	sp     *span.Active
+	fanSeq *atomic.Uint64
 }
 
 // labCore is the shared state behind every view of a Lab.
@@ -214,6 +220,10 @@ type labCore struct {
 	// the lab runs (SetTracing). Reads race-free because it is set once,
 	// before any artifact computes.
 	trace *tracing.Collector
+	// spans, when non-nil, records run/experiment/cell spans (SetSpans).
+	// Set-once like trace; runSeq numbers the root spans RunAll mints.
+	spans  *span.Recorder
+	runSeq atomic.Uint64
 
 	mu        sync.Mutex // guards the maps, never held while computing
 	baselines map[string]*baselineEntry
@@ -244,10 +254,11 @@ func NewLab(o Options) *Lab {
 }
 
 // withCells derives a view of the lab whose fanout calls also count into
-// c and whose failures are attributed to the named experiment. The view
+// c, whose failures are attributed to the named experiment, and whose
+// fan-out cells are bracketed under sp (nil disables both). The view
 // shares every artifact, the pool, and the metrics registry.
-func (l *Lab) withCells(name string, c *obs.Counter) *Lab {
-	return &Lab{labCore: l.labCore, cells: c, name: name}
+func (l *Lab) withCells(name string, c *obs.Counter, sp *span.Active) *Lab {
+	return &Lab{labCore: l.labCore, cells: c, name: name, sp: sp, fanSeq: &atomic.Uint64{}}
 }
 
 // owner is the experiment name failures on this view attribute to.
@@ -272,6 +283,19 @@ func (l *Lab) SetTracing(c *tracing.Collector) { l.trace = c }
 
 // Trace returns the installed collector (nil when tracing is off).
 func (l *Lab) Trace() *tracing.Collector { return l.trace }
+
+// SetSpans installs a span recorder: Registry.RunAll brackets the run,
+// each experiment, every fan-out cell, and the shared sweeps; the
+// federation experiment threads each cell's span into its fleet. Same
+// contract as SetTracing — set once, on a fresh Lab, before anything
+// runs; nil (the default) disables spans at zero cost. Spans are
+// observation only: all instants are logical (0) or simulated time and
+// all IDs derive from (Seed, run/fanout/cell indexes), so the recorded
+// tree — like the tables — is byte-identical at any worker count.
+func (l *Lab) SetSpans(r *span.Recorder) { l.spans = r }
+
+// Spans returns the installed span recorder (nil when disabled).
+func (l *Lab) Spans() *span.Recorder { return l.spans }
 
 // scenarioTracer registers a decision tracer for one ad-hoc scenario
 // simulation, labeled "<experiment>/<label>". Labels must be unique
@@ -313,13 +337,33 @@ func (l *Lab) Timings() *obs.Timings { return l.met.timings }
 // failure — or the context's cancellation — is re-raised to abort the
 // experiment body, whose own boundary in RunAll reports it.
 func (l *Lab) fanout(n int, fn func(i int)) {
+	l.fanoutSpanned(n, func(i int, _ *span.Active) { fn(i) })
+}
+
+// fanoutSpanned is fanout for bodies that want their cell's span (the
+// federation experiment threads it into the fleet as Config.Span). Each
+// cell is bracketed by a "cell" span whose ID derives from (experiment
+// span, fan-out ordinal, cell index) — deterministic at any worker
+// count because the ordinal is taken on the experiment goroutine, before
+// the fan-out parallelizes. Cell instants are logical zeros: wall
+// clocks would break the byte-identical-across-workers contract.
+func (l *Lab) fanoutSpanned(n int, fn func(i int, cs *span.Active)) {
 	if n > 0 {
 		l.met.cells.Add(uint64(n))
 		if l.cells != nil {
 			l.cells.Add(uint64(n))
 		}
 	}
-	l.shieldedForEach(n, fn)
+	var ordinal uint64
+	if l.sp != nil && l.fanSeq != nil {
+		ordinal = l.fanSeq.Add(1) - 1
+	}
+	l.shieldedForEach(n, func(i int) {
+		cs := l.sp.Child("cell", ordinal<<32|uint64(i), 0)
+		cs.Attr("fanout", int64(ordinal)).Attr("cell", int64(i))
+		defer cs.End(0)
+		fn(i, cs)
+	})
 }
 
 // shieldedForEach is pool.forEach behind the cell fault boundary; see

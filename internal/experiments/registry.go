@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"interstitial/internal/obs"
+	"interstitial/internal/span"
 )
 
 // Registry resolves experiment names to runners, caching the shared
@@ -17,6 +19,11 @@ import (
 // computation.
 type Registry struct {
 	lab *Lab
+
+	// spanRoot is the current RunAll's root span, read by the shared-sweep
+	// memos so their brackets attach to the run that triggered them. Nil
+	// outside a spanned RunAll.
+	spanRoot atomic.Pointer[span.Active]
 
 	t2Once sync.Once
 	t2     *Table2Result
@@ -79,7 +86,9 @@ func AllNames() []string {
 func (g *Registry) table2() (*Table2Result, error) {
 	g.t2Once.Do(func() {
 		defer func() { g.t2Pan = recover() }()
-		g.t2, g.t2Err = Table2(g.lab)
+		sp := g.spanRoot.Load().Child("shared.table2", 0, 0)
+		g.t2, g.t2Err = Table2(g.lab.withCells("", nil, sp))
+		sp.End(0)
 	})
 	if g.t2Pan != nil {
 		panic(g.t2Pan)
@@ -92,7 +101,9 @@ func (g *Registry) table2() (*Table2Result, error) {
 func (g *Registry) table4() *Table4Result {
 	g.t4Once.Do(func() {
 		defer func() { g.t4Pan = recover() }()
-		g.t4 = Table4(g.lab)
+		sp := g.spanRoot.Load().Child("shared.table4", 0, 0)
+		g.t4 = Table4(g.lab.withCells("", nil, sp))
+		sp.End(0)
 	})
 	if g.t4Pan != nil {
 		panic(g.t4Pan)
@@ -225,6 +236,20 @@ func (g *Registry) RunAll(names []string) ([]Renderer, *RunReport, error) {
 	walls := make([]time.Duration, len(names))
 	cells := make([]obs.Counter, len(names))
 	before := g.lab.met.cells.Load()
+	// Bracket the run and each experiment. Root IDs derive from (Seed,
+	// RunAll ordinal) and all instants are logical zeros, so the span
+	// tree is byte-identical at any worker count. Nil recorder: every
+	// handle below is nil and the whole layer costs nothing.
+	var root *span.Active
+	expSpans := make([]*span.Active, len(names))
+	if g.lab.spans != nil {
+		root = g.lab.spans.Root("experiments", g.lab.opts.Seed, g.lab.runSeq.Add(1)-1, 0)
+		for i, name := range names {
+			expSpans[i] = root.Child(name, uint64(i), 0)
+		}
+		g.spanRoot.Store(root)
+		defer g.spanRoot.Store(nil)
+	}
 	g.lab.pool.forEach(len(names), func(i int) {
 		t0 := time.Now()
 		func() {
@@ -247,7 +272,7 @@ func (g *Registry) RunAll(names []string) ([]Renderer, *RunReport, error) {
 				g.lab.sink.add(ce)
 				errs[i] = ce
 			}()
-			out[i], errs[i] = g.runOn(g.lab.withCells(names[i], &cells[i]), names[i])
+			out[i], errs[i] = g.runOn(g.lab.withCells(names[i], &cells[i], expSpans[i]), names[i])
 		}()
 		walls[i] = time.Since(t0)
 	})
@@ -276,10 +301,12 @@ func (g *Registry) RunAll(names []string) ([]Renderer, *RunReport, error) {
 		}
 		g.lab.met.timings.Record(name, walls[i], cells[i].Load(), status)
 		attributed += cells[i].Load()
+		expSpans[i].Attr("cells", int64(cells[i].Load())).Str("status", status).End(0)
 	}
 	if total := g.lab.met.cells.Load() - before; total > attributed {
 		g.lab.met.timings.Record("(shared)", 0, total-attributed, "")
 	}
+	root.Attr("experiments", int64(len(names))).End(0)
 	g.lab.foldTrace()
 	return out, report, firstErr
 }

@@ -39,6 +39,7 @@ import (
 	"interstitial/internal/rng"
 	"interstitial/internal/sched"
 	"interstitial/internal/sim"
+	"interstitial/internal/span"
 	"interstitial/internal/stats"
 	"interstitial/internal/tracing"
 	"interstitial/internal/workload"
@@ -108,6 +109,14 @@ type Config struct {
 	// set, supplies each shard's engine tracer.
 	Tracer      *tracing.Tracer
 	ShardTracer func(shard int) *tracing.Tracer
+	// Span, when set, is the parent under which Run brackets each epoch
+	// barrier (fed.epoch), per-shard advance (fed.shard, with the kernel
+	// events it executed), every route/steal decision (fed.route,
+	// fed.steal, carrying the matching Tracer event's seq), and the final
+	// drain (fed.drain). All span instants are simulated seconds and all
+	// IDs derive from the parent, so the span tree is byte-identical for
+	// any Runner. Nil costs nothing.
+	Span *span.Active
 	// Ctx, when non-nil, aborts the fleet cooperatively mid-epoch.
 	Ctx context.Context
 }
@@ -292,24 +301,40 @@ func (f *Fleet) Run() error {
 		return fmt.Errorf("federation: fleet already ran")
 	}
 	f.ran = true
+	var epoch uint64
+	var last sim.Time
 	for t := sim.Time(0); t < f.horizon; t += f.cfg.Epoch {
+		ep := f.cfg.Span.Child("fed.epoch", epoch, int64(t)).Attr("epoch", int64(epoch))
 		if f.metered {
 			f.refreshView(t)
-			f.route(t)
+			f.route(t, ep)
 		}
-		f.advanceTo(t + f.cfg.Epoch)
+		f.advanceTo(t, t+f.cfg.Epoch, ep)
 		if err := f.interrupted(); err != nil {
 			return err
 		}
 		f.merge()
 		f.stats.Barriers++
+		ep.End(int64(t + f.cfg.Epoch))
+		epoch++
+		last = t + f.cfg.Epoch
 	}
-	f.drain()
+	dr := f.cfg.Span.Child("fed.drain", epoch, int64(last))
+	f.drainSpanned(last, dr)
 	if err := f.interrupted(); err != nil {
 		return err
 	}
 	f.merge()
 	f.finish()
+	if dr != nil {
+		end := last
+		for _, sh := range f.shards {
+			if now := sh.sm.Now(); now > end {
+				end = now
+			}
+		}
+		dr.End(int64(end))
+	}
 	return nil
 }
 
@@ -325,8 +350,44 @@ func (f *Fleet) runEach(fn func(sh *shard)) {
 	f.cfg.Runner(len(f.shards), func(i int) { fn(f.shards[i]) })
 }
 
-func (f *Fleet) advanceTo(t sim.Time) { f.runEach(func(sh *shard) { sh.sm.RunUntil(t) }) }
-func (f *Fleet) drain()               { f.runEach(func(sh *shard) { sh.sm.Run() }) }
+// advanceTo runs every shard to the barrier, bracketing each advance
+// with a fed.shard span recording how many kernel events the shard
+// executed this epoch — the per-epoch critical-path signal tracescope
+// -spans reports. Child IDs derive from (ep, shard index), and instants
+// are the barrier bounds, so concurrent runners record identical spans.
+func (f *Fleet) advanceTo(from, to sim.Time, ep *span.Active) {
+	f.runEach(func(sh *shard) {
+		cs := ep.Child("fed.shard", uint64(sh.idx), int64(from))
+		var before uint64
+		if cs != nil {
+			before = sh.sm.Stats().Kernel.Executed
+		}
+		sh.sm.RunUntil(to)
+		if cs != nil {
+			cs.Attr("shard", int64(sh.idx)).
+				Attr("events", int64(sh.sm.Stats().Kernel.Executed-before)).
+				End(int64(to))
+		}
+	})
+}
+
+// drainSpanned runs every shard to its last event, each under a
+// fed.shard span ending at the shard's own final clock.
+func (f *Fleet) drainSpanned(from sim.Time, dr *span.Active) {
+	f.runEach(func(sh *shard) {
+		cs := dr.Child("fed.shard", uint64(sh.idx), int64(from))
+		var before uint64
+		if cs != nil {
+			before = sh.sm.Stats().Kernel.Executed
+		}
+		sh.sm.Run()
+		if cs != nil {
+			cs.Attr("shard", int64(sh.idx)).
+				Attr("events", int64(sh.sm.Stats().Kernel.Executed-before)).
+				End(int64(sh.sm.Now()))
+		}
+	})
+}
 
 func (f *Fleet) interrupted() error {
 	for _, sh := range f.shards {
@@ -397,7 +458,7 @@ func (f *Fleet) refreshView(t sim.Time) {
 // post-grant view would never show the idle (zero-backlog) shards that
 // stealing exists to feed. Every decision happens here, on the fleet
 // goroutine, in a fixed order — the router RNG never races.
-func (f *Fleet) route(t sim.Time) {
+func (f *Fleet) route(t sim.Time, ep *span.Active) {
 	if len(f.view.Shards) == 0 {
 		return
 	}
@@ -447,6 +508,18 @@ func (f *Fleet) route(t sim.Time) {
 				f.cfg.Tracer.Emit(t, tracing.KindSteal, tracing.ReasonStolen,
 					s.From, units, tracing.NoBusy, int64(s.To))
 			}
+			if ep != nil {
+				// Index by the steal counter so each steal's span ID is
+				// unique and reproducible; "seq" links to the KindSteal
+				// event just emitted.
+				cs := ep.Child("fed.steal", uint64(f.stats.Steals), int64(t)).
+					Attr("from", int64(s.From)).Attr("to", int64(s.To)).
+					Attr("units", int64(units)).Str("outcome", "stolen")
+				if f.cfg.Tracer != nil {
+					cs.Attr("seq", int64(f.cfg.Tracer.Emitted()))
+				}
+				cs.End(int64(t))
+			}
 		}
 	}
 	// Fresh units this epoch: offered demand over the routable capacity,
@@ -478,13 +551,27 @@ func (f *Fleet) route(t sim.Time) {
 		f.stats.Units++
 		f.unitSeq++
 		touched[sh.idx] = true
+		migrated := mc != nil && mc.Migrations() > migBefore
 		if f.cfg.Tracer != nil {
 			reason := tracing.ReasonRouted
-			if mc != nil && mc.Migrations() > migBefore {
+			if migrated {
 				reason = tracing.ReasonMigrated
 			}
 			f.cfg.Tracer.Emit(t, tracing.KindRoute, reason,
 				int(f.unitSeq), f.cfg.Unit.CPUs, f.view.Shards[p].Busy, int64(sh.idx))
+		}
+		if ep != nil {
+			outcome := "routed"
+			if migrated {
+				outcome = "migrated"
+			}
+			cs := ep.Child("fed.route", uint64(f.unitSeq), int64(t)).
+				Attr("unit", f.unitSeq).Attr("shard", int64(sh.idx)).
+				Attr("busy", int64(f.view.Shards[p].Busy)).Str("outcome", outcome)
+			if f.cfg.Tracer != nil {
+				cs.Attr("seq", int64(f.cfg.Tracer.Emitted()))
+			}
+			cs.End(int64(t))
 		}
 	}
 	// Wake every shard whose entitlement grew: an event at t in the

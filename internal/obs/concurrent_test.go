@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTimingsConcurrentWriters hammers Record from many goroutines with
+// concurrent Rows/WriteTable readers (the -race probe), then checks
+// nothing was lost.
+func TestTimingsConcurrentWriters(t *testing.T) {
+	var tm Timings
+	const writers, each = 16, 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent readers while writes are in flight
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tm.Rows()
+			_ = tm.WriteTable(io.Discard)
+		}
+	}()
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			for i := 0; i < each; i++ {
+				tm.Record("exp", time.Duration(g)*time.Millisecond, uint64(i), "ok")
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := len(tm.Rows()); got != writers*each {
+		t.Fatalf("recorded %d rows, want %d", got, writers*each)
+	}
+	var total uint64
+	for _, r := range tm.Rows() {
+		total += r.Cells
+	}
+	if want := uint64(writers) * each * (each - 1) / 2; total != want {
+		t.Fatalf("cells sum %d, want %d", total, want)
+	}
+}
+
+// TestSnapshotUnderConcurrentWriters takes snapshots while counters and a
+// histogram are being written. Each snapshot must be internally coherent:
+// counter values never exceed the final total, and the histogram's bucket
+// sum is never behind its total count (Observe bumps the bucket first, and
+// Snapshot reads the count first).
+func TestSnapshotUnderConcurrentWriters(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("writes_total", "")
+	h := reg.Histogram("lat_seconds", "", []float64{0.01, 0.1, 1})
+	const writers, each = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(float64(i%4) / 10)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	var last float64
+	for {
+		snap := reg.Snapshot()
+		cur, ok := snap.Get("writes_total")
+		if !ok {
+			t.Fatal("writes_total missing from snapshot")
+		}
+		if cur.Value < last {
+			t.Fatalf("counter went backwards: %v -> %v", last, cur.Value)
+		}
+		last = cur.Value
+		hs, _ := snap.Get("lat_seconds")
+		var bucketSum uint64
+		for _, n := range hs.Counts {
+			bucketSum += n
+		}
+		if bucketSum < hs.Count {
+			t.Fatalf("histogram buckets (%d) behind count (%d) in a live snapshot", bucketSum, hs.Count)
+		}
+		select {
+		case <-done:
+			final := reg.Snapshot()
+			if cv, _ := final.Get("writes_total"); cv.Value != writers*each {
+				t.Fatalf("final counter %v, want %d", cv.Value, writers*each)
+			}
+			if hv, _ := final.Get("lat_seconds"); hv.Count != writers*each {
+				t.Fatalf("final histogram count %d, want %d", hv.Count, writers*each)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestHandlerStableAcrossSnapshots: the /metrics render lists the same
+// metrics in the same order on every scrape, even while writers race —
+// registration order is the contract, so dashboards can diff scrapes.
+func TestHandlerStableAcrossSnapshots(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("zeta_total", "")
+	reg.Gauge("alpha_inflight", "")
+	reg.Histogram("mid_seconds", "", []float64{1})
+	handler := reg.Handler()
+
+	names := func() []string {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		return regexp.MustCompile(`(?m)^# TYPE (\S+)`).FindAllString(rec.Body.String(), -1)
+	}
+	first := names()
+	if len(first) != 3 {
+		t.Fatalf("expected 3 TYPE lines, got %v", first)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Inc()
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		got := names()
+		if len(got) != len(first) {
+			t.Fatalf("scrape %d: %d TYPE lines, want %d", i, len(got), len(first))
+		}
+		for k := range got {
+			if got[k] != first[k] {
+				t.Fatalf("scrape %d: metric order changed: %v vs %v", i, got, first)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// And two quiescent scrapes render byte-identical bodies.
+	rec1, rec2 := httptest.NewRecorder(), httptest.NewRecorder()
+	handler.ServeHTTP(rec1, httptest.NewRequest("GET", "/metrics", nil))
+	handler.ServeHTTP(rec2, httptest.NewRequest("GET", "/metrics", nil))
+	if !bytes.Equal(rec1.Body.Bytes(), rec2.Body.Bytes()) {
+		t.Fatal("quiescent scrapes differ")
+	}
+}

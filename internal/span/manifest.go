@@ -1,0 +1,79 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"interstitial/internal/obs"
+)
+
+// Manifest is a run's provenance record: everything needed to reproduce
+// the run's output — seed, scale, worker count, the knobs that shaped
+// it, the toolchain — plus witnesses of what it produced (an output
+// digest, a metrics snapshot). It deliberately carries no wall-clock
+// timestamp: two reproductions of the same run render byte-identical
+// manifests (modulo Workers and Metrics, which describe the execution,
+// not the result).
+//
+// cmd/experiments writes one per run (-manifest); advisord attaches a
+// compact per-plan manifest as the X-Run-Manifest response header and
+// writes a service manifest at drain.
+type Manifest struct {
+	Seed      int64   `json:"seed"`
+	Scale     float64 `json:"scale"`
+	Workers   int     `json:"workers,omitempty"`
+	GoVersion string  `json:"go"`
+	// Config holds the remaining knobs as strings; JSON renders map keys
+	// sorted, so the encoding is deterministic.
+	Config map[string]string `json:"config,omitempty"`
+	// Experiments lists what ran, in evaluation order.
+	Experiments []string `json:"experiments,omitempty"`
+	// Digest is the FNV-1a fold (16 hex digits) over the run's canonical
+	// output bytes — rendered tables, a plan's text, a retirement stream.
+	Digest string `json:"digest,omitempty"`
+	// Metrics is the final observability snapshot, when archived.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// NewManifest starts a manifest stamped with the running toolchain.
+func NewManifest(seed int64, scale float64) *Manifest {
+	return &Manifest{Seed: seed, Scale: scale, GoVersion: runtime.Version(), Config: map[string]string{}}
+}
+
+// Set records one config knob, formatting the value with %v.
+func (m *Manifest) Set(key string, v any) *Manifest {
+	if m.Config == nil {
+		m.Config = map[string]string{}
+	}
+	m.Config[key] = fmt.Sprintf("%v", v)
+	return m
+}
+
+// SetDigest records the 64-bit output digest in the wire form (16 hex
+// digits, the same rendering the federation tables use).
+func (m *Manifest) SetDigest(sum uint64) *Manifest {
+	m.Digest = fmt.Sprintf("%016x", sum)
+	return m
+}
+
+// Compact renders the manifest as a single JSON line — header-safe (no
+// newlines), byte-deterministic for equal manifests.
+func (m *Manifest) Compact() string {
+	b, err := json.Marshal(m)
+	if err != nil {
+		// Every field is a plain marshalable type; reaching here is a
+		// programming error worth seeing, not hiding.
+		panic(fmt.Sprintf("span: manifest marshal: %v", err))
+	}
+	return string(b)
+}
+
+// WriteJSON renders the manifest as indented JSON plus a trailing
+// newline, for -manifest files.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

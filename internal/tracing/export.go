@@ -107,86 +107,12 @@ type RunRecord struct {
 // JSON of a known type, every event must name a known kind and reason,
 // belong to a previously declared run, keep seq strictly increasing and
 // time non-decreasing within its run, and respect the run's CPU bound.
-// This is the schema validator behind `make trace-demo` and tracescope.
+// Interleaved "span" lines are validated too (see ReadJSONLAll, which
+// also returns them). This is the schema validator behind `make
+// trace-demo` and tracescope.
 func ReadJSONL(r io.Reader) ([]*RunRecord, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	byRun := make(map[string]*RunRecord)
-	var runs []*RunRecord
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
-		var typ struct {
-			Type string `json:"type"`
-		}
-		if err := json.Unmarshal(raw, &typ); err != nil {
-			return nil, fmt.Errorf("tracing: line %d: %v", line, err)
-		}
-		switch typ.Type {
-		case "run":
-			var h jsonRun
-			if err := json.Unmarshal(raw, &h); err != nil {
-				return nil, fmt.Errorf("tracing: line %d: %v", line, err)
-			}
-			if h.Run == "" {
-				return nil, fmt.Errorf("tracing: line %d: run header without a label", line)
-			}
-			if byRun[h.Run] != nil {
-				return nil, fmt.Errorf("tracing: line %d: duplicate run %q", line, h.Run)
-			}
-			rec := &RunRecord{Run: h.Run, Machine: h.Machine, CPUs: h.CPUs,
-				Emitted: h.Emitted, Dropped: h.Dropped}
-			byRun[h.Run] = rec
-			runs = append(runs, rec)
-		case "event":
-			var je jsonEvent
-			if err := json.Unmarshal(raw, &je); err != nil {
-				return nil, fmt.Errorf("tracing: line %d: %v", line, err)
-			}
-			rec := byRun[je.Run]
-			if rec == nil {
-				return nil, fmt.Errorf("tracing: line %d: event for undeclared run %q", line, je.Run)
-			}
-			kind, ok := ParseKind(je.Kind)
-			if !ok {
-				return nil, fmt.Errorf("tracing: line %d: unknown kind %q", line, je.Kind)
-			}
-			reason, ok := ParseReason(je.Reason)
-			if !ok {
-				return nil, fmt.Errorf("tracing: line %d: unknown reason %q", line, je.Reason)
-			}
-			if n := len(rec.Events); n > 0 {
-				prev := rec.Events[n-1]
-				if je.Seq <= prev.Seq {
-					return nil, fmt.Errorf("tracing: line %d: run %q seq %d not after %d", line, je.Run, je.Seq, prev.Seq)
-				}
-				if sim.Time(je.At) < prev.At {
-					return nil, fmt.Errorf("tracing: line %d: run %q time went backwards %d -> %d", line, je.Run, int64(prev.At), je.At)
-				}
-			}
-			if je.Busy < NoBusy || (rec.CPUs > 0 && je.Busy > rec.CPUs) {
-				return nil, fmt.Errorf("tracing: line %d: run %q busy %d out of [-1, %d]", line, je.Run, je.Busy, rec.CPUs)
-			}
-			rec.Events = append(rec.Events, Event{Seq: je.Seq, At: sim.Time(je.At),
-				Kind: kind, Reason: reason, Job: je.Job, CPUs: je.CPUs, Busy: je.Busy, Aux: je.Aux})
-		default:
-			return nil, fmt.Errorf("tracing: line %d: unknown record type %q", line, typ.Type)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	for _, rec := range runs {
-		if uint64(len(rec.Events))+rec.Dropped != rec.Emitted {
-			return nil, fmt.Errorf("tracing: run %q: kept %d + dropped %d != emitted %d",
-				rec.Run, len(rec.Events), rec.Dropped, rec.Emitted)
-		}
-	}
-	return runs, nil
+	runs, _, err := ReadJSONLAll(r)
+	return runs, err
 }
 
 // --- Chrome trace-event export ---
@@ -206,9 +132,10 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// span is one job's residency on the machine, paired from begin/end
-// events for the lane-layout pass.
-type span struct {
+// jobSpan is one job's residency on the machine, paired from begin/end
+// events for the lane-layout pass. (Request/run spans from internal/span
+// are a different beast; see spans.go.)
+type jobSpan struct {
 	job        int
 	start, end sim.Time
 	cpus       int
@@ -292,9 +219,9 @@ func WriteChrome(w io.Writer, c *Collector) error {
 // pairSpans matches begin events to end events per job id and returns the
 // spans in begin order plus the latest timestamp seen. Spans whose end
 // was dropped by sampling (or whose job outlived the trace) get end = -1.
-func pairSpans(events []Event) ([]*span, sim.Time) {
-	var spans []*span
-	open := make(map[int]*span)
+func pairSpans(events []Event) ([]*jobSpan, sim.Time) {
+	var spans []*jobSpan
+	open := make(map[int]*jobSpan)
 	var last sim.Time
 	for _, e := range events {
 		if e.At > last {
@@ -302,7 +229,7 @@ func pairSpans(events []Event) ([]*span, sim.Time) {
 		}
 		switch {
 		case beginsSpan(e.Kind):
-			s := &span{job: e.Job, start: e.At, end: -1, cpus: e.CPUs,
+			s := &jobSpan{job: e.Job, start: e.At, end: -1, cpus: e.CPUs,
 				name: fmt.Sprintf("job %d (%dc)", e.Job, e.CPUs), reason: e.Reason.String(), outcome: "running"}
 			spans = append(spans, s)
 			open[e.Job] = s
@@ -326,16 +253,16 @@ func pairSpans(events []Event) ([]*span, sim.Time) {
 	return spans, last
 }
 
-// lanedSpan is a span assigned to a display lane.
+// lanedSpan is a job span assigned to a display lane.
 type lanedSpan struct {
-	s    *span
+	s    *jobSpan
 	lane int
 }
 
 // layoutLanes assigns spans to the smallest set of non-overlapping lanes
 // (greedy earliest-free-lane), so Perfetto rows read like a Gantt chart.
-func layoutLanes(spans []*span, last sim.Time) []lanedSpan {
-	ordered := make([]*span, len(spans))
+func layoutLanes(spans []*jobSpan, last sim.Time) []lanedSpan {
+	ordered := make([]*jobSpan, len(spans))
 	copy(ordered, spans)
 	sort.SliceStable(ordered, func(i, k int) bool {
 		if ordered[i].start != ordered[k].start {

@@ -1,0 +1,183 @@
+package tracing
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"interstitial/internal/span"
+)
+
+// SpanReport is the tracescope -spans summary: where the time went
+// (per-name latency), which shard dragged each federation epoch, and
+// what outcomes (sheds, degrades, cache hits) the spans attribute.
+type SpanReport struct {
+	Total  int // spans summarized
+	Traces int // distinct trace IDs
+
+	// Names is the per-name latency breakdown, sorted by name. For
+	// advisord spans the durations are wall microseconds; for federation
+	// spans, simulated seconds.
+	Names []SpanNameStat
+
+	// Epochs lists, for each fed.epoch span, the shard that executed the
+	// most kernel events during it — the epoch's critical path. Sorted by
+	// (trace, epoch).
+	Epochs []EpochStat
+
+	// Outcomes counts spans per (name, outcome attribute): shed/degrade
+	// attribution for the service, steal/migrate reasons for federation.
+	Outcomes []OutcomeStat
+}
+
+// SpanNameStat aggregates latency for one span name.
+type SpanNameStat struct {
+	Name       string
+	Count      int
+	Total, Max int64 // duration sums in the spans' clock units
+}
+
+// Mean is the average duration (0 when empty).
+func (n SpanNameStat) Mean() float64 {
+	if n.Count == 0 {
+		return 0
+	}
+	return float64(n.Total) / float64(n.Count)
+}
+
+// EpochStat names the slowest shard of one federation epoch.
+type EpochStat struct {
+	Trace  span.ID
+	Epoch  int64 // the epoch span's "epoch" attribute
+	Shard  int64 // slowest shard's index
+	Events int64 // kernel events it executed during the epoch
+	Shards int   // shards that reported in this epoch
+}
+
+// OutcomeStat counts spans per (name, outcome).
+type OutcomeStat struct {
+	Name, Outcome string
+	Count         int
+}
+
+// SummarizeSpans aggregates spans into a report. Input order does not
+// matter; output ordering is deterministic.
+func SummarizeSpans(spans []span.Span) *SpanReport {
+	rep := &SpanReport{Total: len(spans)}
+	traces := make(map[span.ID]bool)
+	names := make(map[string]*SpanNameStat)
+	epochOf := make(map[span.ID]int64) // fed.epoch span ID -> epoch number
+	type epochKey struct {
+		trace, id span.ID
+	}
+	best := make(map[epochKey]*EpochStat)
+	outcomes := make(map[[2]string]int)
+	for i := range spans {
+		s := &spans[i]
+		traces[s.Trace] = true
+		st := names[s.Name]
+		if st == nil {
+			st = &SpanNameStat{Name: s.Name}
+			names[s.Name] = st
+		}
+		st.Count++
+		d := s.Duration()
+		st.Total += d
+		if d > st.Max {
+			st.Max = d
+		}
+		if s.Name == "fed.epoch" {
+			if a, ok := s.Attr("epoch"); ok {
+				epochOf[s.ID] = a.Val
+			}
+		}
+		if a, ok := s.Attr("outcome"); ok && a.Str != "" {
+			outcomes[[2]string{s.Name, a.Str}]++
+		}
+	}
+	for i := range spans {
+		s := &spans[i]
+		if s.Name != "fed.shard" {
+			continue
+		}
+		epoch, ok := epochOf[s.Parent]
+		if !ok {
+			continue // parent is the drain bracket or absent
+		}
+		shard, _ := s.Attr("shard")
+		events, _ := s.Attr("events")
+		k := epochKey{s.Trace, s.Parent}
+		e := best[k]
+		if e == nil {
+			e = &EpochStat{Trace: s.Trace, Epoch: epoch, Shard: shard.Val, Events: events.Val}
+			best[k] = e
+		}
+		e.Shards++
+		if events.Val > e.Events || (events.Val == e.Events && shard.Val < e.Shard) {
+			e.Events = events.Val
+			e.Shard = shard.Val
+		}
+	}
+	rep.Traces = len(traces)
+	for _, st := range names {
+		rep.Names = append(rep.Names, *st)
+	}
+	sort.Slice(rep.Names, func(i, k int) bool { return rep.Names[i].Name < rep.Names[k].Name })
+	for _, e := range best {
+		rep.Epochs = append(rep.Epochs, *e)
+	}
+	sort.Slice(rep.Epochs, func(i, k int) bool {
+		if rep.Epochs[i].Trace != rep.Epochs[k].Trace {
+			return rep.Epochs[i].Trace < rep.Epochs[k].Trace
+		}
+		return rep.Epochs[i].Epoch < rep.Epochs[k].Epoch
+	})
+	for k, n := range outcomes {
+		rep.Outcomes = append(rep.Outcomes, OutcomeStat{Name: k[0], Outcome: k[1], Count: n})
+	}
+	sort.Slice(rep.Outcomes, func(i, k int) bool {
+		if rep.Outcomes[i].Name != rep.Outcomes[k].Name {
+			return rep.Outcomes[i].Name < rep.Outcomes[k].Name
+		}
+		return rep.Outcomes[i].Outcome < rep.Outcomes[k].Outcome
+	})
+	return rep
+}
+
+// maxEpochRows caps the slowest-shard table; federation sweeps bracket
+// hundreds of epochs and the tail is noise.
+const maxEpochRows = 20
+
+// WriteReport renders the span report as the tracescope -spans text.
+func (rep *SpanReport) WriteReport(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "spans: %d in %d trace(s)\n", rep.Total, rep.Traces)
+	if len(rep.Names) > 0 {
+		fmt.Fprintf(bw, "\n  %-24s %8s %12s %12s %12s\n", "name", "count", "total", "mean", "max")
+		for _, n := range rep.Names {
+			fmt.Fprintf(bw, "  %-24s %8d %12d %12.1f %12d\n", n.Name, n.Count, n.Total, n.Mean(), n.Max)
+		}
+	}
+	if len(rep.Epochs) > 0 {
+		fmt.Fprintf(bw, "\n  slowest shard per epoch (by kernel events executed):\n")
+		fmt.Fprintf(bw, "  %-18s %8s %8s %12s %8s\n", "trace", "epoch", "shard", "events", "shards")
+		shown := rep.Epochs
+		if len(shown) > maxEpochRows {
+			shown = shown[:maxEpochRows]
+		}
+		for _, e := range shown {
+			fmt.Fprintf(bw, "  %-18s %8d %8d %12d %8d\n", e.Trace.String(), e.Epoch, e.Shard, e.Events, e.Shards)
+		}
+		if len(rep.Epochs) > maxEpochRows {
+			fmt.Fprintf(bw, "  ... %d more epochs\n", len(rep.Epochs)-maxEpochRows)
+		}
+	}
+	if len(rep.Outcomes) > 0 {
+		fmt.Fprintf(bw, "\n  outcomes:\n")
+		for _, o := range rep.Outcomes {
+			fmt.Fprintf(bw, "  %-24s %-20s %8d\n", o.Name, o.Outcome, o.Count)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,148 @@
+package tracing
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"interstitial/internal/span"
+)
+
+func sampleSpans(t *testing.T) []span.Span {
+	t.Helper()
+	rec := span.NewRecorder()
+	root := rec.Root("run", 42, 0, 0)
+	ep := root.Child("fed.epoch", 0, 0).Attr("epoch", 0)
+	ep.Child("fed.shard", 0, 0).Attr("shard", 0).Attr("events", 120).End(3600)
+	ep.Child("fed.shard", 1, 0).Attr("shard", 1).Attr("events", 80).End(3600)
+	ep.Child("fed.steal", 1, 100).Attr("from", 1).Attr("to", 0).Attr("units", 2).Str("outcome", "stolen").End(100)
+	ep.End(3600)
+	root.End(7200)
+	return rec.Spans()
+}
+
+// TestSpansJSONLRoundTrip: write → validate → parse must reproduce the
+// spans exactly, and two writes must be byte-identical.
+func TestSpansJSONLRoundTrip(t *testing.T) {
+	spans := sampleSpans(t)
+	var a, b bytes.Buffer
+	if err := WriteSpansJSONL(&a, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSpansJSONL(&b, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same spans differ")
+	}
+	runs, got, err := ReadJSONLAll(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 0 {
+		t.Fatalf("span-only file parsed %d runs", len(runs))
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("parsed %d spans, want %d", len(got), len(spans))
+	}
+	for i := range got {
+		w, g := spans[i], got[i]
+		if g.Trace != w.Trace || g.ID != w.ID || g.Parent != w.Parent || g.Name != w.Name ||
+			g.Start != w.Start || g.End != w.End || len(g.Attrs) != len(w.Attrs) {
+			t.Fatalf("span %d: got %+v want %+v", i, g, w)
+		}
+		for _, want := range w.Attrs {
+			have, ok := g.Attr(want.Key)
+			if !ok || have.Str != want.Str || have.Val != want.Val {
+				t.Fatalf("span %d attr %q: got %+v want %+v", i, want.Key, have, want)
+			}
+		}
+	}
+	// ReadJSONL (the -check path) must accept span lines too.
+	if _, err := ReadJSONL(bytes.NewReader(a.Bytes())); err != nil {
+		t.Fatalf("ReadJSONL rejected span lines: %v", err)
+	}
+}
+
+// TestSpansValidation rejects the malformed shapes the reader guards.
+func TestSpansValidation(t *testing.T) {
+	cases := map[string]string{
+		"dangling parent":    `{"type":"span","trace":"0000000000000002","id":"0000000000000003","parent":"00000000000000ff","name":"x","start":0,"end":1}`,
+		"end before start":   `{"type":"span","trace":"0000000000000002","id":"0000000000000002","name":"x","start":5,"end":1}`,
+		"root not own trace": `{"type":"span","trace":"0000000000000002","id":"0000000000000003","name":"x","start":0,"end":1}`,
+		"short id":           `{"type":"span","trace":"0000000000000002","id":"2","name":"x","start":0,"end":1}`,
+		"no name":            `{"type":"span","trace":"0000000000000002","id":"0000000000000002","start":0,"end":1}`,
+		"bad attr type":      `{"type":"span","trace":"0000000000000002","id":"0000000000000002","name":"x","start":0,"end":1,"attrs":{"k":[1]}}`,
+		"duplicate id": `{"type":"span","trace":"0000000000000002","id":"0000000000000002","name":"x","start":0,"end":1}` + "\n" +
+			`{"type":"span","trace":"0000000000000002","id":"0000000000000002","name":"y","start":0,"end":1}`,
+	}
+	for name, line := range cases {
+		if _, _, err := ReadJSONLAll(strings.NewReader(line)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// A parent may appear after its child in the file (two-pass check).
+	ok := `{"type":"span","trace":"0000000000000002","id":"0000000000000003","parent":"0000000000000002","name":"child","start":0,"end":1}` + "\n" +
+		`{"type":"span","trace":"0000000000000002","id":"0000000000000002","name":"root","start":0,"end":9}`
+	if _, _, err := ReadJSONLAll(strings.NewReader(ok)); err != nil {
+		t.Errorf("parent-after-child rejected: %v", err)
+	}
+}
+
+func TestSpansChrome(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpansChrome(&buf, sampleSpans(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"traceEvents"`, `"fed.epoch"`, `"fed.steal"`, `"process_name"`, `"outcome":"stolen"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome export missing %s", want)
+		}
+	}
+}
+
+func TestSummarizeSpans(t *testing.T) {
+	rep := SummarizeSpans(sampleSpans(t))
+	if rep.Total != 5 || rep.Traces != 1 {
+		t.Fatalf("Total=%d Traces=%d, want 5/1", rep.Total, rep.Traces)
+	}
+	if len(rep.Epochs) != 1 {
+		t.Fatalf("epochs: %+v", rep.Epochs)
+	}
+	e := rep.Epochs[0]
+	if e.Epoch != 0 || e.Shard != 0 || e.Events != 120 || e.Shards != 2 {
+		t.Fatalf("slowest shard wrong: %+v", e)
+	}
+	found := false
+	for _, o := range rep.Outcomes {
+		if o.Name == "fed.steal" && o.Outcome == "stolen" && o.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("outcome attribution missing: %+v", rep.Outcomes)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"spans: 5 in 1 trace(s)", "fed.shard", "slowest shard per epoch", "stolen"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestExportSpansFormats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportSpans(&buf, sampleSpans(t), FormatJSONL); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportSpans(&buf, sampleSpans(t), FormatChrome); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportSpans(&buf, sampleSpans(t), FormatAudit); err == nil {
+		t.Fatal("audit format accepted for spans")
+	}
+}
