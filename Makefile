@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover bench bench-sched bench-fed fuzz paper extensions examples trace-demo clean
+.PHONY: all build test cover bench bench-sched bench-fed bench-kernel fuzz paper extensions examples trace-demo clean
 
 all: build test
 
@@ -15,9 +15,13 @@ test:
 
 # Write the profile to a temp file and move it into place only on
 # success, so a mid-run test failure can't leave a stale/truncated
-# cover.out behind for the next `go tool cover` to misreport.
+# cover.out behind for the next `go tool cover` to misreport. The trap
+# extends the same guarantee to interrupted runs (Ctrl-C, TERM): the temp
+# file is removed on the way out instead of lingering in the worktree
+# until the next invocation or `make clean` (which also removes it).
 cover:
 	@rm -f cover.out.tmp; \
+	trap 'rm -f cover.out.tmp' INT TERM HUP; \
 	if $(GO) test -coverprofile=cover.out.tmp ./...; then \
 		mv cover.out.tmp cover.out; \
 		$(GO) tool cover -func=cover.out | tail -1; \
@@ -56,8 +60,17 @@ bench-fed:
 	$(GO) test -run '^$$' -bench '^(BenchmarkFederationRoute|BenchmarkFederationSteal)$$' \
 		-benchmem -count $(BENCHCOUNT) ./internal/federation/
 
+# Kernel microbenchmarks — the raw event loop, churny cancellation, the
+# batched same-instant drain, and the two intra-run-parallelism cells the
+# sharded kernel work targets. All five sit in the CI benchgate guarded
+# set; this target is the local loop for kernel changes.
+bench-kernel:
+	$(GO) test -run '^$$' -bench '^(BenchmarkSimKernel$$|BenchmarkSimKernelChurn$$|BenchmarkScheduleBatch$$|BenchmarkIntraCellShards$$|BenchmarkAblationJobWidth$$)' \
+		-benchmem -count $(BENCHCOUNT) .
+
 # Each fuzz target gets its own run (go test allows one -fuzz at a time).
 fuzz:
+	$(GO) test -fuzz FuzzEventHeap -fuzztime 30s ./internal/sim/
 	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/trace/
 	$(GO) test -fuzz FuzzMachineByName -fuzztime 30s .
 	$(GO) test -fuzz FuzzRoutePolicy -fuzztime 30s ./internal/federation/

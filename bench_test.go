@@ -264,6 +264,43 @@ func BenchmarkSimKernelChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleBatch measures bulk same-instant scheduling plus the
+// batched drain: bursts of chained events against singleton spacers, the
+// shape the engine's finish bursts produce. Steady state must be 0
+// allocs/op — every item, bucket slot, and scratch index is recycled.
+func BenchmarkScheduleBatch(b *testing.B) {
+	const bursts, width = 1000, 32
+	none := sim.EventFunc(func(*sim.Engine) {})
+	e := sim.New()
+	run := func() {
+		for k := 0; k < bursts; k++ {
+			at := e.Now() + 2
+			bt := e.NewBatch(at, 0)
+			for w := 0; w < width; w++ {
+				bt.Add(none)
+			}
+			e.Schedule(e.Now()+1, none) // singleton spacer between bursts
+			e.RunUntil(at)
+		}
+	}
+	run() // warm the free list and scratch before counting allocations
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(float64(b.N)*bursts*(width+1)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkIntraCellShards measures the sharded single-scenario path: one
+// continual experiment split across 8 per-machine shards on the lab pool.
+func BenchmarkIntraCellShards(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchOpts())
+		renderTo(b, experiments.IntraCellShards(lab, 8))
+	}
+}
+
 // BenchmarkLabParallel exercises the warmup path: Precompute fans a
 // table's whole working set (three baselines plus four continual runs)
 // across the worker pool before anything is rendered.

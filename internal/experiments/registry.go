@@ -68,8 +68,8 @@ func ExtensionNames() []string {
 	return []string{"ablation-estimates", "ablation-backfill", "ablation-burstiness",
 		"ablation-joblength", "ablation-jobwidth", "ablation-guard", "ablation-capsweep",
 		"ablation-preemption", "ablation-prediction", "utilization-sweep",
-		"validate-sampling", "seed-robustness", "correlations", "figure4-outages",
-		"faults-sensitivity", "scale-stream", "federation"}
+		"intracell-shards", "validate-sampling", "seed-robustness", "correlations",
+		"figure4-outages", "faults-sensitivity", "scale-stream", "federation"}
 }
 
 // AllNames lists every runnable experiment, sorted.
@@ -192,6 +192,8 @@ func (g *Registry) runOn(l *Lab, name string) (Renderer, error) {
 		return AblationGuard(l), nil
 	case "utilization-sweep":
 		return UtilizationSweep(l), nil
+	case "intracell-shards":
+		return IntraCellShards(l, 8), nil
 	case "ablation-prediction":
 		return AblationPrediction(l), nil
 	case "ablation-preemption":

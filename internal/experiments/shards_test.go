@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderShards runs IntraCellShards on a small lab at the given worker
+// count and returns the rendered bytes.
+func renderShards(t *testing.T, workers, shards int) string {
+	t.Helper()
+	l := NewLab(Options{Seed: 1, Scale: 0.03, Reps: 2, Samples: 40, Workers: workers})
+	var sb strings.Builder
+	if err := IntraCellShards(l, shards).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// The sharded scenario's determinism contract: per-shard DeriveSeed
+// streams, pre-indexed slots, and a shard-order merge make the rendered
+// table byte-identical at any worker count.
+func TestIntraCellShardsWorkerInvariant(t *testing.T) {
+	serial := renderShards(t, 1, 4)
+	parallel := renderShards(t, 8, 4)
+	if serial != parallel {
+		t.Fatalf("sharded render differs across worker counts:\n-- workers=1 --\n%s\n-- workers=8 --\n%s",
+			serial, parallel)
+	}
+	if n := strings.Count(serial, "\nshard "); n != 4 {
+		t.Fatalf("rendered %d shard rows, want 4:\n%s", n, serial)
+	}
+	if !strings.Contains(serial, "merged (4 shards)") {
+		t.Fatalf("missing merged row:\n%s", serial)
+	}
+}
+
+// Shards are independent streams: the same shard index must produce the
+// same row regardless of how many siblings run beside it.
+func TestIntraCellShardStreamsIndependent(t *testing.T) {
+	two := renderShards(t, 4, 2)
+	four := renderShards(t, 4, 4)
+	tl := strings.Split(two, "\n")
+	fl := strings.Split(four, "\n")
+	// Rows: title, note, header, then shard rows. Compare shard 0 and 1.
+	for i := 3; i <= 4; i++ {
+		if tl[i] != fl[i] {
+			t.Fatalf("shard row changed when shard count grew:\n2 shards: %q\n4 shards: %q", tl[i], fl[i])
+		}
+	}
+}
+
+func TestMergeShardRows(t *testing.T) {
+	rows := []ablationRow{
+		{InterstitialJobs: 10, HarvestedCPUh: 4, OverallUtil: 0.8, NativeUtil: 0.6, NativeMedianWait: 2, NativeMeanWait: 4, BigMedianWait: 6},
+		{InterstitialJobs: 30, HarvestedCPUh: 8, OverallUtil: 0.6, NativeUtil: 0.4, NativeMedianWait: 4, NativeMeanWait: 8, BigMedianWait: 10},
+	}
+	m := mergeShardRows(rows)
+	if m.InterstitialJobs != 40 || m.HarvestedCPUh != 12 {
+		t.Fatalf("totals %d jobs / %.0f CPUh, want 40 / 12", m.InterstitialJobs, m.HarvestedCPUh)
+	}
+	if m.OverallUtil != 0.7 || m.NativeUtil != 0.5 {
+		t.Fatalf("utils %.2f/%.2f, want 0.70/0.50", m.OverallUtil, m.NativeUtil)
+	}
+	if m.NativeMedianWait != 3 || m.NativeMeanWait != 6 || m.BigMedianWait != 8 {
+		t.Fatalf("waits %v/%v/%v, want 3/6/8", m.NativeMedianWait, m.NativeMeanWait, m.BigMedianWait)
+	}
+	if m.Label != "merged (2 shards)" {
+		t.Fatalf("label %q", m.Label)
+	}
+}

@@ -78,31 +78,41 @@ func Table2(l *Lab) (*Table2Result, error) {
 	l.Precompute(BaselineKey("Ross"), BaselineKey("Blue Mountain"), BaselineKey("Blue Pacific"))
 
 	// Prepare every cell: spec, theory line, tiled free timeline, starts.
-	cells := make([]*t2cell, 0, len(res.Projects)*len(res.Machines))
-	for i, p := range res.Projects {
-		res.Cells = append(res.Cells, make([]Table2Cell, len(res.Machines)))
-		for m, name := range res.Machines {
-			b := l.Baseline(name)
-			horizon := b.sys.Workload.Duration()
-			// Tile enough log copies that the biggest project fits from
-			// any start inside the first period.
-			spec := p.JobSpecFor(b.sys.Workload.Machine.ClockGHz)
-			ideal := theory.Makespan(p.PetaCycles, b.sys.Workload.Machine.CPUs, b.sys.Workload.Machine.ClockGHz, b.utilNat)
-			copies := int(ideal*3/float64(horizon)) + 2
-			c := &t2cell{
-				name:  name,
-				proj:  p,
-				spec:  spec,
-				ideal: ideal,
-				free:  core.MustFreeTimeline(b.ran, b.sys.Workload.Machine.CPUs, horizon, copies),
-				starts: randomStarts(rng.New(o.Seed+100+int64(i*len(res.Machines)+m)),
-					o.Reps, horizon, 1.0),
-			}
-			c.hours = make([]float64, len(c.starts))
-			c.errs = make([]error, len(c.starts))
-			cells = append(cells, c)
-		}
+	// Preparation is itself fanned out per cell — tiling the free timeline
+	// for the big projects is real work — which is sound because every
+	// input is either memoized (the baselines, warmed by Precompute above)
+	// or a pure function of the cell index: the starts rng is seeded from
+	// (Seed, cell index), so the prepared cells are identical at any
+	// worker count.
+	nm := len(res.Machines)
+	cells := make([]*t2cell, len(res.Projects)*nm)
+	for range res.Projects {
+		res.Cells = append(res.Cells, make([]Table2Cell, nm))
 	}
+	l.fanout(len(cells), func(t int) {
+		i, m := t/nm, t%nm
+		p := res.Projects[i]
+		name := res.Machines[m]
+		b := l.Baseline(name)
+		horizon := b.sys.Workload.Duration()
+		// Tile enough log copies that the biggest project fits from
+		// any start inside the first period.
+		spec := p.JobSpecFor(b.sys.Workload.Machine.ClockGHz)
+		ideal := theory.Makespan(p.PetaCycles, b.sys.Workload.Machine.CPUs, b.sys.Workload.Machine.ClockGHz, b.utilNat)
+		copies := int(ideal*3/float64(horizon)) + 2
+		c := &t2cell{
+			name:  name,
+			proj:  p,
+			spec:  spec,
+			ideal: ideal,
+			free:  core.MustFreeTimeline(b.ran, b.sys.Workload.Machine.CPUs, horizon, copies),
+			starts: randomStarts(rng.New(o.Seed+100+int64(t)),
+				o.Reps, horizon, 1.0),
+		}
+		c.hours = make([]float64, len(c.starts))
+		c.errs = make([]error, len(c.starts))
+		cells[t] = c
+	})
 
 	// Flatten to (cell, rep) tasks: replications are independent packs
 	// into clones of the same timeline.

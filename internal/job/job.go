@@ -109,7 +109,22 @@ type Job struct {
 	// Priority is the scheduler-assigned dispatch priority (higher runs
 	// first). It is recomputed by fair-share policies on every pass.
 	Priority float64
+
+	// machineSlot is the job's index in its machine's running slice,
+	// maintained by machine.Machine while the job is Running and
+	// meaningless in every other state. Storing it on the job replaces a
+	// per-machine ID->index map — and its per-start/per-finish hashing —
+	// with a plain field access on the simulator's hottest paths.
+	machineSlot int
 }
+
+// MachineSlot returns the running-set index maintained by
+// machine.Machine; see SetMachineSlot. Only meaningful while Running.
+func (j *Job) MachineSlot() int { return j.machineSlot }
+
+// SetMachineSlot records the job's position in its machine's running set.
+// Only machine.Machine should call this.
+func (j *Job) SetMachineSlot(i int) { j.machineSlot = i }
 
 // New returns a Created native job with Start/Finish unset.
 func New(id int, user, group string, cpus int, runtime, estimate, submit sim.Time) *Job {

@@ -44,16 +44,17 @@ func BluePacific() Config { return Config{Name: "Blue Pacific", CPUs: 926, Clock
 
 // Machine is the live CPU pool plus its utilization ledger.
 //
-// The running set is slice-backed (with an ID index for O(1) removal) so
-// the scheduler's per-pass iteration is cache-friendly, allocation-free,
-// and deterministic in start order — map iteration order was both slower
-// and a determinism hazard.
+// The running set is slice-backed so the scheduler's per-pass iteration is
+// cache-friendly, allocation-free, and deterministic in start order — map
+// iteration order was both slower and a determinism hazard. Each running
+// job carries its own slice index (job.MachineSlot), giving O(1) removal
+// without the ID->index map that used to dominate Start/Finish profiles
+// with hash traffic.
 type Machine struct {
 	cfg  Config
 	free int
 
-	running    []*job.Job  // in start order, swap-removed
-	runningIdx map[int]int // job ID -> index in running
+	running []*job.Job // in start order, swap-removed
 
 	// busy integrals in CPU-seconds, updated lazily at each state change.
 	lastUpdate      sim.Time
@@ -71,7 +72,7 @@ func New(cfg Config) *Machine {
 	if cfg.CPUs < 1 {
 		panic(fmt.Sprintf("machine: %d CPUs", cfg.CPUs))
 	}
-	return &Machine{cfg: cfg, free: cfg.CPUs, runningIdx: make(map[int]int)}
+	return &Machine{cfg: cfg, free: cfg.CPUs}
 }
 
 // Config returns the machine's static description.
@@ -129,8 +130,20 @@ func (m *Machine) removeRunning(i int) {
 	last := len(m.running) - 1
 	moved := m.running[last]
 	m.running[i] = moved
-	m.runningIdx[moved.ID] = i
+	moved.SetMachineSlot(i)
 	m.running = m.running[:last]
+}
+
+// runningIndex locates j in the running set via its stored slot, with a
+// pointer-identity check so a stale or foreign job cannot alias another
+// running job's slot. Panics describe the caller's bug, mirroring the old
+// map lookup's not-found panic.
+func (m *Machine) runningIndex(op string, j *job.Job) int {
+	i := j.MachineSlot()
+	if i < 0 || i >= len(m.running) || m.running[i] != j {
+		panic(fmt.Sprintf("machine: %s job %d that is not running", op, j.ID))
+	}
+	return i
 }
 
 // advance accrues busy CPU-seconds up to now.
@@ -169,17 +182,14 @@ func (m *Machine) Start(now sim.Time, j *job.Job) {
 	}
 	j.Start = now
 	j.State = job.Running
-	m.runningIdx[j.ID] = len(m.running)
+	j.SetMachineSlot(len(m.running))
 	m.running = append(m.running, j)
 	m.startedJobs++
 }
 
 // Finish releases j's CPUs at time now and marks it finished.
 func (m *Machine) Finish(now sim.Time, j *job.Job) {
-	i, ok := m.runningIdx[j.ID]
-	if !ok {
-		panic(fmt.Sprintf("machine: finishing job %d that is not running", j.ID))
-	}
+	i := m.runningIndex("finishing", j)
 	m.advance(now)
 	m.free += j.CPUs
 	if j.Class == job.Interstitial {
@@ -187,7 +197,6 @@ func (m *Machine) Finish(now sim.Time, j *job.Job) {
 	} else {
 		m.busyNativeCPUs -= j.CPUs
 	}
-	delete(m.runningIdx, j.ID)
 	m.removeRunning(i)
 	j.Finish = now
 	j.State = job.Finished
@@ -199,10 +208,7 @@ func (m *Machine) Finish(now sim.Time, j *job.Job) {
 // marked Killed with no Finish time; the busy integral keeps the work it
 // did up to now.
 func (m *Machine) Release(now sim.Time, j *job.Job) {
-	i, ok := m.runningIdx[j.ID]
-	if !ok {
-		panic(fmt.Sprintf("machine: releasing job %d that is not running", j.ID))
-	}
+	i := m.runningIndex("releasing", j)
 	m.advance(now)
 	m.free += j.CPUs
 	if j.Class == job.Interstitial {
@@ -210,7 +216,6 @@ func (m *Machine) Release(now sim.Time, j *job.Job) {
 	} else {
 		m.busyNativeCPUs -= j.CPUs
 	}
-	delete(m.runningIdx, j.ID)
 	m.removeRunning(i)
 	j.State = job.Killed
 }
@@ -271,7 +276,6 @@ func (m *Machine) RestoreState(st State, running []*job.Job) error {
 	m.free = m.cfg.CPUs
 	m.busyNativeCPUs, m.busyInterstCPUs = 0, 0
 	m.running = m.running[:0]
-	m.runningIdx = make(map[int]int, len(running))
 	for _, j := range running {
 		if j.State != job.Running {
 			return fmt.Errorf("machine %s: restoring job %d with state %v", m.cfg.Name, j.ID, j.State)
@@ -285,7 +289,7 @@ func (m *Machine) RestoreState(st State, running []*job.Job) error {
 		} else {
 			m.busyNativeCPUs += j.CPUs
 		}
-		m.runningIdx[j.ID] = len(m.running)
+		j.SetMachineSlot(len(m.running))
 		m.running = append(m.running, j)
 	}
 	m.lastUpdate = st.LastUpdate

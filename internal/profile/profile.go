@@ -36,6 +36,11 @@ type Profile struct {
 	// rel is RebuildFromRunning's scratch release list, retained between
 	// rebuilds so the per-pass sort works entirely in reused memory.
 	rel []release
+	// relKeys is the packed-key scratch for the same sort's fast path:
+	// each release squeezed into one uint64 so the hottest loop in a full
+	// simulation is a branch-light slices.Sort over machine words instead
+	// of a comparison-callback sort over structs.
+	relKeys []uint64
 	// unsorted marks a timeline whose breakpoints are not strictly
 	// increasing, on which Reserve/Release keep the historical whole-array
 	// scan (covered segments need not be contiguous there). In practice it
@@ -102,6 +107,9 @@ func (p *Profile) Reset(from sim.Time, capacity int) {
 // The result is identical to FromRunning's (release ties merge into one
 // segment, so their sort order does not matter).
 func (p *Profile) RebuildFromRunning(now sim.Time, totalCPUs int, running []*job.Job) {
+	if p.rebuildPacked(now, totalCPUs, running) {
+		return
+	}
 	rel := p.rel[:0]
 	used := 0
 	for _, j := range running {
@@ -134,6 +142,52 @@ func (p *Profile) RebuildFromRunning(now sim.Time, totalCPUs int, running []*job
 	// Releases are ascending, so the only possible inversion is a release
 	// breakpoint before the origin.
 	p.unsorted = len(p.times) > 1 && p.times[1] < p.times[0]
+}
+
+// Packed-key sort bounds: a release fits one uint64 as at<<13 | cpus when
+// its width is below 8192 CPUs (the paper's largest machine has 4662) and
+// its instant below 2^50 seconds (~35 million simulated years). Equal-at
+// releases merge into a single segment whichever of them sorts first, so
+// packing cpus into the low bits cannot change the rebuilt profile.
+const (
+	relCPUBits = 13
+	relMaxAt   = sim.Time(1) << 50
+)
+
+// rebuildPacked is RebuildFromRunning's fast path: it sorts uint64-packed
+// releases with slices.Sort, dodging the struct sort's comparison calls.
+// It reports false — leaving p untouched — when any release falls outside
+// the packable range, and the caller redoes the work on the general path.
+func (p *Profile) rebuildPacked(now sim.Time, totalCPUs int, running []*job.Job) bool {
+	keys := p.relKeys[:0]
+	used := 0
+	for _, j := range running {
+		at := j.EstimatedEnd()
+		if at < 0 || at >= relMaxAt || j.CPUs < 0 || j.CPUs >= 1<<relCPUBits {
+			p.relKeys = keys
+			return false
+		}
+		used += j.CPUs
+		keys = append(keys, uint64(at)<<relCPUBits|uint64(j.CPUs))
+	}
+	slices.Sort(keys)
+	p.relKeys = keys
+	p.times = append(p.times[:0], now)
+	p.free = append(p.free[:0], totalCPUs-used)
+	cur := totalCPUs - used
+	for _, k := range keys {
+		at := sim.Time(k >> relCPUBits)
+		cur += int(k & (1<<relCPUBits - 1))
+		n := len(p.times)
+		if p.times[n-1] == at {
+			p.free[n-1] = cur
+		} else {
+			p.times = append(p.times, at)
+			p.free = append(p.free, cur)
+		}
+	}
+	p.unsorted = len(p.times) > 1 && p.times[1] < p.times[0]
+	return true
 }
 
 // Clone returns an independent copy (the rebuild scratch is not carried

@@ -28,6 +28,12 @@ func DeriveSeed(base int64, stream uint64) int64 {
 	return int64(z)
 }
 
+// Stream returns a generator for the DeriveSeed-derived stream (base,
+// stream): the per-shard rng of a sharded simulation in one call. Two
+// distinct stream indices yield unrelated generators; the same pair always
+// yields the same generator, independent of which worker asks.
+func Stream(base int64, stream uint64) *rand.Rand { return New(DeriveSeed(base, stream)) }
+
 // LogNormal draws from a lognormal distribution with the given median and
 // sigma (the standard deviation of the underlying normal). The mean of the
 // distribution is median * exp(sigma^2/2).
